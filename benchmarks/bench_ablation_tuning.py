@@ -1,0 +1,67 @@
+"""Ablation — the automatic tuning strategy (contribution #3).
+
+"We tune the batched BiCGSTAB solver for the matrices from the XGC and
+also provide an automatic tuning strategy depending on the size of the
+matrix."  This harness shows the tuner's decisions for the XGC matrices on
+every GPU, and quantifies (via the model) what each decision is worth:
+tuned format vs the other format, tuned shared placement vs none.
+"""
+
+import numpy as np
+
+from repro.gpu import GPUS, estimate_iterative_solve, tune_for_matrix
+
+from conftest import N_ROWS, STORED_ELL, emit, tile_iterations
+
+
+def test_ablation_tuning_decisions(benchmark, xgc_matrices, zero_guess_solve,
+                                   app, results_dir):
+    ell, _, _ = xgc_matrices
+    its = tile_iterations(zero_guess_solve.iterations, 960)
+    nnz = app.stencil.nnz
+
+    decisions = benchmark(
+        lambda: {hw.name: tune_for_matrix(hw, ell) for hw in GPUS}
+    )
+
+    lines = ["Ablation: automatic tuning for the XGC matrices"]
+    for hw in GPUS:
+        d = decisions[hw.name]
+        t_tuned = estimate_iterative_solve(
+            hw, d.fmt, N_ROWS, nnz, its,
+            stored_nnz=STORED_ELL if d.fmt == "ell" else None,
+        ).total_time_s
+        other = "csr" if d.fmt == "ell" else "ell"
+        t_other = estimate_iterative_solve(
+            hw, other, N_ROWS, nnz, its,
+            stored_nnz=STORED_ELL if other == "ell" else None,
+        ).total_time_s
+        lines.append(
+            f"  {hw.name}: fmt={d.fmt} threads={d.threads_per_block} "
+            f"shared={d.storage.num_shared}/{d.storage.num_vectors} "
+            f"{'fused' if d.fused_kernel else 'component'}"
+        )
+        lines.append(
+            f"    tuned fmt {t_tuned * 1e3:8.3f} ms vs {other} "
+            f"{t_other * 1e3:8.3f} ms -> {t_other / t_tuned:.2f}x"
+        )
+        for key, why in d.rationale.items():
+            lines.append(f"    [{key}] {why}")
+    emit(results_dir, "ablation_tuning.txt", "\n".join(lines))
+
+    # The tuner must pick the paper's winning configuration everywhere.
+    for hw in GPUS:
+        d = decisions[hw.name]
+        assert d.fmt == "ell"
+        assert d.fused_kernel
+        assert d.storage.num_shared >= 4  # at least the SpMV vectors
+    # And that pick must actually win in the model.
+    for hw in GPUS:
+        d = decisions[hw.name]
+        t_tuned = estimate_iterative_solve(
+            hw, d.fmt, N_ROWS, nnz, its, stored_nnz=STORED_ELL
+        ).total_time_s
+        t_other = estimate_iterative_solve(
+            hw, "csr", N_ROWS, nnz, its
+        ).total_time_s
+        assert t_tuned < t_other

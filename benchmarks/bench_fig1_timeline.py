@@ -1,0 +1,22 @@
+"""Fig. 1 — execution timeline of one Picard loop (CPU-solver config).
+
+The paper reads three numbers off this profile: ~48% of the loop is CPU
+time, ~66% of that is the dgbsv call, transfers add ~9%.  Generator:
+:func:`repro.experiments.fig1`.
+"""
+
+from repro.experiments import fig1
+
+from conftest import emit
+
+
+def test_fig1_timeline(benchmark, results_dir):
+    result = benchmark(fig1, 1000)
+    emit(results_dir, "fig1_timeline.txt", result.text)
+
+    s = result.data["cpu"]
+    assert 40 <= s["cpu_percent"] <= 56  # paper: ~48%
+    assert 58 <= s["solve_percent_of_cpu"] <= 74  # paper: ~66%
+    assert 5 <= s["transfer_percent"] <= 15  # paper: ~9%
+    # Moving the solver to the GPU shortens the loop.
+    assert result.data["gpu_total_ms"] < s["total_ms"]

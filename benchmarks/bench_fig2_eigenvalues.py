@@ -1,0 +1,32 @@
+"""Fig. 2 — eigenvalue spectra of the ion and electron matrices.
+
+Ions cluster around 1.0 (log real axis), electrons span a much wider
+real-part range; both are well-conditioned.  Generator:
+:func:`repro.experiments.fig2`.
+"""
+
+from repro.experiments import fig2
+
+from conftest import emit
+
+
+def test_fig2_eigenvalue_spectra(benchmark, results_dir):
+    result = benchmark(fig2)
+    emit(results_dir, "fig2_eigenvalues.txt", result.text)
+
+    se, si = result.data["electron"], result.data["ion"]
+    assert si.real_spread < 3  # ions clustered around 1.0
+    assert se.real_spread > 10 * si.real_spread  # electrons much wider
+    assert min(se.real_min, si.real_min) > 0.9  # well-conditioned
+
+
+def test_fig2_condition_numbers(benchmark, xgc_matrices):
+    """Both species are 'well-conditioned enough to take good advantage of
+    iterative solvers'."""
+    from repro.utils import condition_number
+
+    _, csr, _ = xgc_matrices
+    kappa_e = benchmark(condition_number, csr, 0)
+    kappa_i = condition_number(csr, 1)
+    assert kappa_i < 10
+    assert kappa_e < 1e4

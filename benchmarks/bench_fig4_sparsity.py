@@ -1,0 +1,24 @@
+"""Fig. 4 — the sparsity pattern of one batch entry (+ Fig. 3 storage).
+
+'992 rows, 9 nonzeros per row' from the 2D nine-point stencil; only
+boundary rows are shorter.  Generator: :func:`repro.experiments.fig4`.
+"""
+
+from repro.experiments import fig4
+
+from conftest import emit
+
+
+def test_fig4_pattern(benchmark, results_dir):
+    result = benchmark(fig4)
+    emit(results_dir, "fig4_sparsity.txt", result.text)
+
+    hist = result.data["nnz_histogram"]
+    assert max(hist) == 9
+    assert hist[9] == 870  # interior rows
+    st = result.data["storage_bytes"]
+    # Fig 3: both sparse formats are orders of magnitude below dense;
+    # ELL trades a few percent of padding for the coalesced layout.
+    assert st["csr"] < 0.02 * st["dense"]
+    assert st["ell"] < 0.02 * st["dense"]
+    assert st["ell"] < 1.1 * st["csr"]

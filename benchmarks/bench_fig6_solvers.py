@@ -1,0 +1,52 @@
+"""Fig. 6 — solve time vs batch size for every solver/format/platform.
+
+The pytest-benchmark part times this library's *real* batched solves (the
+numerics whose iteration counts drive the model); the series itself comes
+from the canonical generator :func:`repro.experiments.fig6`, whose output
+is written to ``benchmarks/results/`` and shape-checked here.
+"""
+
+from repro.core import AbsoluteResidual, BatchBicgstab
+from repro.experiments import fig6
+from repro.gpu import GPUS
+
+from conftest import BATCH_SIZES, emit
+
+
+def test_fig6_real_batched_solve_ell(benchmark, xgc_matrices, results_dir):
+    """Benchmark the real ELL BiCGSTAB solve and emit the Fig. 6 panels."""
+    ell, _, f = xgc_matrices
+    s = BatchBicgstab(
+        preconditioner="jacobi", criterion=AbsoluteResidual(1e-10), max_iter=500
+    )
+    result = benchmark(s.solve, ell, f)
+    assert result.all_converged
+
+    emit(results_dir, "fig6_solve_times.txt", fig6().text)
+
+
+def test_fig6_real_batched_solve_csr(benchmark, xgc_matrices):
+    """Benchmark the real CSR BiCGSTAB solve (same numerics, CSR layout)."""
+    _, csr, f = xgc_matrices
+    s = BatchBicgstab(
+        preconditioner="jacobi", criterion=AbsoluteResidual(1e-10), max_iter=500
+    )
+    result = benchmark(s.solve, csr, f)
+    assert result.all_converged
+
+
+def test_fig6_shape_claims(benchmark):
+    """Assert the Fig. 6 orderings hold in the regenerated data."""
+    result = benchmark(fig6)
+    rows = result.data["series"]
+    big = rows[3840]
+    assert big["A100-ell"] == min(big.values())
+    assert big["Skylake-dgbsv"] < big["MI100-csr"]
+    assert big["Skylake-dgbsv"] < big["V100-qr"]
+    for hw in GPUS:
+        assert big[f"{hw.name}-ell"] < big[f"{hw.name}-csr"]
+        assert big[f"{hw.name}-ell"] < big["Skylake-dgbsv"]
+    # Per-entry time decreases with batch size (right panel trend).
+    for name in ("A100-ell", "V100-ell", "MI100-ell"):
+        per_entry = [rows[nb][name] / nb for nb in BATCH_SIZES]
+        assert per_entry[-1] < per_entry[0]

@@ -1,0 +1,24 @@
+"""Fig. 8 — effect of the initial guess on total time to solution.
+
+Cumulative time over the five Picard iterations on the A100, zero guess vs
+the previous Picard iterate, for both formats (generator:
+:func:`repro.experiments.fig8`).  Paper speedups: ~1.15-1.25x (CSR),
+~1.2-1.6x (ELL); this reproduction's Picard loop contracts faster (see
+EXPERIMENTS.md) so the modelled speedups sit at the top of that band.
+"""
+
+from repro.experiments import fig8
+
+from conftest import emit
+
+
+def test_fig8_initial_guess(benchmark, results_dir):
+    result = benchmark(fig8)
+    emit(results_dir, "fig8_initial_guess.txt", result.text)
+
+    speedups = result.data["speedups"]
+    # The warm start always wins, on both formats, at every batch size.
+    for fmt in ("csr", "ell"):
+        assert all(s > 1.1 for _, s in speedups[fmt])
+    # Speedups are O(1-3x): a constant factor, not orders of magnitude.
+    assert max(s for _, s in speedups["ell"]) < 3.5

@@ -1,0 +1,85 @@
+"""Host-kernel microbenchmarks: this library's real NumPy kernels.
+
+Not a paper artefact — straight pytest-benchmark timings of the batched
+kernels this reproduction actually executes, at the paper's problem size,
+so regressions in the implementation itself are visible.  The CSR/ELL
+ratio doubles as a host-side echo of the paper's format result.
+"""
+
+import numpy as np
+
+from repro.core import (
+    AbsoluteResidual,
+    BatchBandedLu,
+    BatchBicgstab,
+    JacobiPreconditioner,
+    batch_dot,
+    batch_norm2,
+    to_format,
+)
+from repro.utils import csr_to_banded
+
+
+def test_host_spmv_ell(benchmark, xgc_matrices):
+    ell, _, f = xgc_matrices
+    out = np.empty_like(f)
+    benchmark(ell.apply, f, out)
+
+
+def test_host_spmv_csr(benchmark, xgc_matrices):
+    _, csr, f = xgc_matrices
+    out = np.empty_like(f)
+    benchmark(csr.apply, f, out)
+
+
+def test_host_blas1(benchmark, xgc_matrices):
+    _, _, f = xgc_matrices
+    g = f.copy()
+
+    def blas1():
+        batch_dot(f, g)
+        return batch_norm2(f)
+
+    benchmark(blas1)
+
+
+def test_host_jacobi_generate_apply(benchmark, xgc_matrices):
+    ell, _, f = xgc_matrices
+    out = np.empty_like(f)
+
+    def run():
+        p = JacobiPreconditioner().generate(ell)
+        p.apply(f, out=out)
+
+    benchmark(run)
+
+
+def test_host_assembly(benchmark, app):
+    """One Picard-iteration matrix assembly (the single-GEMM path)."""
+    f = app.initial_state()
+    benchmark(app.stepper.assemble, f, app.config.dt)
+
+
+def test_host_banded_lu(benchmark, xgc_matrices):
+    """The dgbsv-equivalent at paper size (4-system slice: it is the
+    slow direct baseline, after all)."""
+    from repro.core import BatchCsr
+
+    _, csr, f = xgc_matrices
+    small = BatchCsr(csr.num_cols, csr.row_ptrs, csr.col_idxs, csr.values[:4])
+
+    def run():
+        return BatchBandedLu().solve(small, f[:4])
+
+    res = benchmark(run)
+    assert res.all_converged
+
+
+def test_host_format_conversion(benchmark, xgc_matrices):
+    _, csr, _ = xgc_matrices
+    benchmark(to_format, csr, "ell")
+
+
+def test_host_band_extraction(benchmark, xgc_matrices):
+    _, csr, _ = xgc_matrices
+    benchmark(csr_to_banded, csr)

@@ -1,0 +1,81 @@
+"""Motivation (Section II) — why not batched *dense* GPU solvers?
+
+"For these sizes and bandwidth, using dense solvers on the GPU is not
+enough to beat the gain obtained from exploiting the banded nature of the
+matrix on the CPU.  Thus, sparse solvers on the GPU are required."
+
+This harness measures that claim: batched dense LU on the GPU model
+(granted full dense-BLAS efficiency) against the CPU banded dgbsv and the
+paper's batched sparse iterative solve, across the batch-size sweep.
+"""
+
+import numpy as np
+
+from repro.core import BatchCsr, BatchDenseLu
+from repro.gpu import (
+    SKYLAKE_NODE,
+    V100,
+    estimate_cpu_dgbsv,
+    estimate_dense_lu,
+    estimate_iterative_solve,
+)
+
+from conftest import BATCH_SIZES, KL, KU, N_ROWS, STORED_ELL, emit, tile_iterations
+
+
+def test_motivation_dense_vs_banded(benchmark, zero_guess_solve, app,
+                                    results_dir):
+    nnz = app.stencil.nnz
+
+    def series():
+        rows = []
+        for nb in BATCH_SIZES:
+            its = tile_iterations(zero_guess_solve.iterations, nb)
+            t_dense = estimate_dense_lu(V100, N_ROWS, nb).total_time_s
+            t_cpu = estimate_cpu_dgbsv(
+                SKYLAKE_NODE, N_ROWS, KL, KU, nb
+            ).total_time_s
+            t_sparse = estimate_iterative_solve(
+                V100, "ell", N_ROWS, nnz, its, stored_nnz=STORED_ELL
+            ).total_time_s
+            rows.append((nb, t_dense, t_cpu, t_sparse))
+        return rows
+
+    rows = benchmark(series)
+    lines = [
+        "Motivation: batched dense LU (V100) vs banded dgbsv (Skylake) vs "
+        "batched sparse iterative (V100 ELL)",
+        f"{'batch':>6} {'dense-LU ms':>12} {'dgbsv ms':>10} "
+        f"{'sparse-it ms':>13}",
+    ]
+    for nb, t_d, t_c, t_s in rows:
+        lines.append(
+            f"{nb:>6} {t_d * 1e3:12.2f} {t_c * 1e3:10.2f} {t_s * 1e3:13.3f}"
+        )
+    lines.append(
+        "\n-> the GPU dense route loses to the CPU banded solver at every"
+        "\n   batch size (the paper's Section II claim); only the batched"
+        "\n   sparse iterative solver justifies the port."
+    )
+    emit(results_dir, "motivation_dense.txt", "\n".join(lines))
+
+    for nb, t_d, t_c, t_s in rows:
+        assert t_d > t_c  # dense GPU loses to banded CPU
+        assert t_s < t_c  # sparse iterative GPU wins
+
+
+def test_motivation_dense_numerics_agree(benchmark, rng=None):
+    """The dense LU itself is a correct solver (it loses on cost, not on
+    correctness) — checked on a slice of real collision matrices."""
+    from repro.xgc import CollisionProxyApp, ProxyAppConfig, VelocityGrid
+
+    app = CollisionProxyApp(ProxyAppConfig(
+        num_mesh_nodes=1, grid=VelocityGrid(nv_par=10, nv_perp=9),
+    ))
+    matrix, f = app.build_matrices()
+    from repro.core import to_format
+
+    csr = to_format(matrix, "csr")
+    res = benchmark(BatchDenseLu().solve, csr, f)
+    assert res.all_converged
+    assert res.residual_norms.max() < 1e-9

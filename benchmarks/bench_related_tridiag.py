@@ -1,0 +1,98 @@
+"""Related work (Section III) — batched tridiagonal solvers.
+
+Before this paper, batched *sparse* solving on GPUs meant specialised
+direct kernels for tridiagonal systems (``gtsv2StridedBatch``,
+cuThomasBatch).  This harness stages the comparison the related-work
+section implies: on genuinely tridiagonal batches the Thomas kernel is
+unbeatable (one exact sweep, no index metadata); on the XGC 9-point
+matrices it simply does not apply, while the batched iterative solver
+handles both.
+"""
+
+import numpy as np
+
+from repro.core import (
+    AbsoluteResidual,
+    BatchBicgstab,
+    BatchCsr,
+    BatchThomas,
+    BatchTridiag,
+)
+
+from conftest import emit
+
+
+def tridiagonal_batch(nb=16, n=992, seed=3):
+    rng = np.random.default_rng(seed)
+    dense = np.zeros((nb, n, n))
+    i = np.arange(n)
+    dense[:, i, i] = 4.0 + rng.random((nb, n))
+    dense[:, i[1:], i[:-1]] = -1.0 + 0.2 * rng.random((nb, n - 1))
+    dense[:, i[:-1], i[1:]] = -1.0 + 0.2 * rng.random((nb, n - 1))
+    return BatchCsr.from_dense(dense)
+
+
+def test_related_tridiag_thomas(benchmark, results_dir):
+    csr = tridiagonal_batch()
+    tri = BatchTridiag.from_matrix(csr)
+    rng = np.random.default_rng(4)
+    x_true = rng.standard_normal((csr.num_batch, csr.num_rows))
+    b = csr.apply(x_true)
+
+    thomas = BatchThomas()
+    res_t = benchmark(thomas.solve, tri, b)
+    np.testing.assert_allclose(res_t.x, x_true, rtol=1e-8, atol=1e-10)
+
+    bicg = BatchBicgstab(
+        preconditioner="jacobi", criterion=AbsoluteResidual(1e-10),
+        max_iter=500,
+    )
+    res_b = bicg.solve(csr, b)
+
+    lines = [
+        "Related work: batched Thomas vs batched BiCGSTAB on tridiagonal "
+        "systems",
+        f"  batch: {csr.num_batch} systems of n = {csr.num_rows}",
+        f"  Thomas:   exact in one sweep, residual "
+        f"{res_t.residual_norms.max():.2e}, "
+        f"storage {tri.storage_bytes() / 1e3:.0f} KB (no index metadata)",
+        f"  BiCGSTAB: {res_b.iterations.min()}-{res_b.iterations.max()} "
+        f"iterations to 1e-10, residual {res_b.residual_norms.max():.2e}, "
+        f"storage {csr.storage_bytes() / 1e3:.0f} KB",
+        "",
+        "  -> on true tridiagonal batches the specialised direct kernel",
+        "     wins outright; its limitation is scope, not speed: the XGC",
+        "     9-point matrices are outside it (next benchmark asserts so),",
+        "     which is why the paper needed general batched sparse solvers.",
+    ]
+    emit(results_dir, "related_tridiag.txt", "\n".join(lines))
+
+    assert res_t.residual_norms.max() < 1e-9
+    assert res_b.all_converged
+    assert tri.storage_bytes() < csr.storage_bytes()
+
+
+def test_related_tridiag_rejects_xgc(benchmark, xgc_matrices):
+    """The related-work kernels cannot express the collision matrices."""
+    import pytest
+
+    _, csr, f = xgc_matrices
+
+    def attempt():
+        with pytest.raises(ValueError, match="not tridiagonal"):
+            BatchThomas().solve(csr, f)
+        return True
+
+    assert benchmark(attempt)
+
+
+def test_related_tridiag_host_speed(benchmark):
+    """Host-kernel timing of the Thomas sweep itself (the benchmarked
+    callable), for scale against the iterative solve in the report."""
+    csr = tridiagonal_batch(nb=64, n=512, seed=7)
+    tri = BatchTridiag.from_matrix(csr)
+    rng = np.random.default_rng(8)
+    b = rng.standard_normal((64, 512))
+    thomas = BatchThomas()
+    res = benchmark(thomas.solve, tri, b)
+    assert res.all_converged

@@ -1,0 +1,19 @@
+"""Table I — hardware characteristics of the evaluation platforms.
+
+The catalog is an input to the performance model, not a measurement;
+generator: :func:`repro.experiments.table1`.
+"""
+
+from repro.experiments import table1
+
+from conftest import emit
+
+
+def test_table1_catalog(benchmark, results_dir):
+    result = benchmark(table1)
+    emit(results_dir, "table1_hardware.txt", result.text)
+
+    # Spot-check the paper's numbers survived transcription.
+    assert result.data["A100"]["tflops"] == 9.7
+    assert result.data["V100"]["bw"] == 990.0
+    assert result.data["MI100"]["cus"] == 120

@@ -1,0 +1,76 @@
+"""The tolerance study behind the paper's 1e-10 setting (Section V).
+
+"Conservation of relevant physical quantities in XGC to a pre-decided
+threshold (1e-7) was met with a minimum tolerance of 1e-10 in the GINKGO
+batched iterative solver.  Increasing the linear solver tolerance above
+1e-10 resulted in the Picard loop not converging."
+
+This harness sweeps the inner linear tolerance, runs the *real* Picard
+loop at each setting (conservation fix off, so the raw solver quality is
+visible), and reports the Picard update decay, the conservation drifts,
+and the solver cost — the trade-off surface the paper's choice sits on.
+"""
+
+import numpy as np
+
+from repro.xgc import CollisionProxyApp, PicardOptions, ProxyAppConfig
+
+from conftest import emit
+
+TOLERANCES = (1e-4, 1e-6, 1e-8, 1e-10, 1e-12)
+
+
+def _run(tol, f0=None, nodes=2):
+    app = CollisionProxyApp(ProxyAppConfig(
+        num_mesh_nodes=nodes,
+        picard=PicardOptions(linear_tol=tol, conservation_fix=False),
+    ))
+    if f0 is None:
+        f0 = app.initial_state()
+    return f0, app.stepper.step(f0, app.config.dt)
+
+
+def test_tolerance_study(benchmark, results_dir):
+    f0, _ = _run(1e-10)
+    rows = {}
+    for tol in TOLERANCES:
+        _, step = _run(tol, f0=f0)
+        rows[tol] = step
+    benchmark(lambda: _run(1e-10, f0=f0))
+
+    ref = rows[1e-12].f_new
+    lines = [
+        "Tolerance study: inner linear tolerance vs Picard quality "
+        "(conservation fix off)",
+        f"{'tol':>8} {'total iters':>12} {'last update':>12} "
+        f"{'density drift':>14} {'vs 1e-12':>10}",
+    ]
+    for tol, step in rows.items():
+        err = np.abs(step.f_new - ref).max() / np.abs(ref).max()
+        lines.append(
+            f"{tol:8.0e} {int(step.linear_iterations.sum()):>12} "
+            f"{step.picard_updates[-1]:12.2e} "
+            f"{step.conservation.density_drift.max():14.2e} "
+            f"{err:10.2e}"
+        )
+    lines.append(
+        "\n-> loose tolerances stall the Picard updates and visibly bias"
+        "\n   the step; ~1e-10 is the loosest setting indistinguishable"
+        "\n   from the tight reference, at a fraction of 1e-12's cost."
+    )
+    emit(results_dir, "tolerance_study.txt", "\n".join(lines))
+
+    # Tighter tolerance costs more iterations, monotonically.
+    totals = [rows[t].linear_iterations.sum() for t in TOLERANCES]
+    assert all(a <= b for a, b in zip(totals, totals[1:]))
+    # 1e-10 reproduces the reference step; 1e-4 visibly does not.
+    err_10 = np.abs(rows[1e-10].f_new - ref).max() / np.abs(ref).max()
+    err_4 = np.abs(rows[1e-4].f_new - ref).max() / np.abs(ref).max()
+    assert err_10 < 1e-8
+    assert err_4 > 100 * err_10
+    # The paper's acceptance mechanism: the FV scheme conserves density
+    # only as exactly as the linear systems are solved — a loose tolerance
+    # leaks density past the 1e-7 threshold, a tight one stays well under.
+    assert rows[1e-4].conservation.density_drift.max() > 1e-7
+    for tol in (1e-10, 1e-12):
+        assert rows[tol].conservation.density_drift.max() < 1e-7

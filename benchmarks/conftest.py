@@ -1,0 +1,106 @@
+"""Shared fixtures for the benchmark/reproduction harness.
+
+Each ``bench_*`` module regenerates one table or figure of the paper:
+it times the *real* numerical kernels of this library with
+pytest-benchmark, runs the performance model with the measured per-system
+iteration counts, writes the reproduced rows/series to
+``benchmarks/results/``, and prints them.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+The reproduced outputs land in ``benchmarks/results/*.txt`` and are
+summarised against the paper in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import numpy as np
+import pytest
+
+from repro.core import AbsoluteResidual, BatchBicgstab, BatchLogger, to_format
+from repro.xgc import CollisionProxyApp, PicardOptions, ProxyAppConfig
+
+#: Batch sizes swept by the figure harnesses (the paper's x-axes).
+BATCH_SIZES = (120, 240, 480, 960, 1920, 3840)
+
+#: Problem constants at paper scale.
+N_ROWS = 992
+KL = KU = 33
+STORED_ELL = 9 * N_ROWS
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    out = pathlib.Path(__file__).parent / "results"
+    out.mkdir(exist_ok=True)
+    return out
+
+
+@pytest.fixture(scope="session")
+def app() -> CollisionProxyApp:
+    """Paper-size proxy app: 8 mesh nodes x 2 species = 16 systems."""
+    return CollisionProxyApp(ProxyAppConfig(num_mesh_nodes=8))
+
+
+@pytest.fixture(scope="session")
+def xgc_matrices(app):
+    """The representative XGC matrices (ELL + CSR) and right-hand sides."""
+    matrix, f = app.build_matrices()
+    return matrix, to_format(matrix, "csr"), f
+
+
+@pytest.fixture(scope="session")
+def solver():
+    return BatchBicgstab(
+        preconditioner="jacobi",
+        criterion=AbsoluteResidual(1e-10),
+        max_iter=500,
+        logger=BatchLogger(),
+    )
+
+
+@pytest.fixture(scope="session")
+def zero_guess_solve(xgc_matrices, solver):
+    """One real zero-guess batched solve: iteration counts for Fig. 6/7."""
+    ell, _, f = xgc_matrices
+    return solver.solve(ell, f)
+
+
+@pytest.fixture(scope="session")
+def picard_warm(app):
+    """One real warm-started Picard step (Table III / Fig. 8/9 data)."""
+    f0 = app.initial_state()
+    return app.stepper.step(f0, app.config.dt)
+
+
+@pytest.fixture(scope="session")
+def picard_zero(app):
+    """The zero-guess Picard step (Fig. 8 baseline)."""
+    from repro.xgc import PicardStepper
+
+    stepper = PicardStepper(
+        app.config.grid,
+        app.masses,
+        nu_ref=app.config.nu_ref,
+        eta=app.config.eta,
+        kurtosis_gamma=app.config.kurtosis_gamma,
+        options=PicardOptions(warm_start=False),
+        stencil=app.stencil,
+    )
+    f0 = app.initial_state()
+    return stepper.step(f0, app.config.dt)
+
+
+def tile_iterations(iterations: np.ndarray, nb: int) -> np.ndarray:
+    """Repeat a measured iteration-count vector out to batch size ``nb``."""
+    return np.tile(iterations, nb // iterations.size + 1)[:nb]
+
+
+def emit(results_dir: pathlib.Path, name: str, text: str) -> None:
+    """Write one reproduced artefact and echo it."""
+    (results_dir / name).write_text(text + "\n")
+    print(f"\n=== {name} ===\n{text}")

@@ -1,0 +1,79 @@
+"""The XGC collision kernel: backward Euler + Picard with batched solves.
+
+Runs the full proxy app at paper scale (992-cell velocity grid, mixed
+ion/electron batch over several mesh nodes), prints the Table-III style
+iteration counts, the conservation report, and the relaxation of the
+distribution toward its Maxwellian.
+
+Run:  python examples/collision_picard.py
+"""
+
+import numpy as np
+
+from repro.xgc import (
+    CollisionProxyApp,
+    ProxyAppConfig,
+    maxwellian,
+    moments,
+)
+
+
+def main():
+    app = CollisionProxyApp(ProxyAppConfig(num_mesh_nodes=4))
+    cfg = app.config
+    print(
+        f"proxy app: {cfg.num_mesh_nodes} mesh nodes x "
+        f"{len(cfg.species)} species = {cfg.num_batch} systems, "
+        f"n = {cfg.grid.num_cells}"
+    )
+
+    f0 = app.initial_state()
+    mom0 = moments(cfg.grid, f0)
+    print(
+        f"initial moments (node 0 electron): n={mom0.density[0]:.3f} "
+        f"u={mom0.mean_v_par[0]:+.3f} T={mom0.temperature[0]:.3f}"
+    )
+
+    result = app.run(num_steps=3, f0=f0)
+
+    print("\nlinear-solver iterations per Picard iteration (batch mean):")
+    by_species = result.linear_iterations_by_species(cfg)
+    for name, table in by_species.items():
+        print(f"  {name}:")
+        for step, row in enumerate(table):
+            print(
+                f"    step {step}: "
+                + "  ".join(f"{v:5.1f}" for v in row)
+            )
+
+    last = result.step_results[-1]
+    print("\nconservation across the last step (relative drifts):")
+    for qty, v in last.conservation.worst().items():
+        print(f"  {qty:>9}: {v:.3e}")
+    print(f"  acceptance (paper threshold 1e-7): {last.conservation.all_ok}")
+
+    # How far is each system from its own Maxwellian now?
+    mom = moments(cfg.grid, result.f_final)
+    dist0 = _maxwellian_distance(cfg.grid, f0, mom0)
+    dist = _maxwellian_distance(cfg.grid, result.f_final, mom)
+    print(
+        f"\nrelaxation: mean distance to local Maxwellian "
+        f"{dist0.mean():.3f} -> {dist.mean():.3f}"
+    )
+
+
+def _maxwellian_distance(grid, f, mom):
+    out = np.empty(f.shape[0])
+    for k in range(f.shape[0]):
+        target = maxwellian(
+            grid,
+            density=float(mom.density[k]),
+            temperature=float(mom.temperature[k]),
+            mean_v_par=float(mom.mean_v_par[k]),
+        )
+        out[k] = np.linalg.norm(f[k] - target) / np.linalg.norm(target)
+    return out
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+"""Batch matrix formats: storage footprints and SpMV performance.
+
+Compares BatchDense / BatchCsr / BatchEll on the XGC matrices — the Fig. 3
+storage accounting plus real host-kernel SpMV timings (our NumPy ELL
+kernel beats the CSR one for the same reason the GPU kernel does: regular
+layout, no per-row reduction).
+
+Run:  python examples/format_comparison.py
+"""
+
+import time
+
+import numpy as np
+
+from repro.core import to_format
+from repro.xgc import CollisionProxyApp, ProxyAppConfig
+
+
+def time_spmv(matrix, x, repeats=20):
+    out = np.empty((matrix.num_batch, matrix.num_rows))
+    matrix.apply(x, out=out)  # warm up
+    t0 = time.perf_counter()
+    for _ in range(repeats):
+        matrix.apply(x, out=out)
+    return (time.perf_counter() - t0) / repeats
+
+
+def main():
+    app = CollisionProxyApp(ProxyAppConfig(num_mesh_nodes=16))
+    ell, f = app.build_matrices()
+    csr = to_format(ell, "csr")
+    dense = to_format(csr, "dense")
+
+    print(f"batch: {csr.num_batch} systems of {csr.num_rows}x{csr.num_cols}, "
+          f"{csr.nnz_per_system} nnz each\n")
+
+    print("storage (Fig. 3 accounting):")
+    for m in (dense, csr, ell):
+        mb = m.storage_bytes() / 1e6
+        print(f"  {type(m).__name__:<11} {mb:10.2f} MB")
+    print(f"  ELL padding: {100 * ell.padding_fraction():.1f}% "
+          "(only the boundary rows)")
+
+    print("\nhost SpMV timings (this library's NumPy kernels):")
+    times = {}
+    for m in (dense, csr, ell):
+        times[m.format_name] = time_spmv(m, f)
+        print(f"  {type(m).__name__:<11} {times[m.format_name] * 1e3:8.3f} ms")
+    print(f"  ELL speedup over CSR: {times['csr'] / times['ell']:.2f}x")
+
+    # Cross-check: all three produce identical products.
+    ref = dense.apply(f)
+    assert np.allclose(csr.apply(f), ref)
+    assert np.allclose(ell.apply(f), ref)
+    print("\nall formats agree on A @ x (checked).")
+
+
+if __name__ == "__main__":
+    main()

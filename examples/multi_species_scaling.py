@@ -1,0 +1,60 @@
+"""Multi-species plasmas and multi-GPU nodes: scaling the proxy app up.
+
+Two previews of where the paper says XGC is heading: ~10 ion species per
+node (here: a D-T mix with a carbon impurity) and full use of multi-GPU
+nodes (here: a Summit node with six V100s).  Both are expressed purely as
+bigger batches — the point of the batched-solver design.
+
+Run:  python examples/multi_species_scaling.py
+"""
+
+import numpy as np
+
+from repro.dist import SUMMIT_NODE, gpu_scaling_study
+from repro.xgc import CollisionProxyApp, VelocityGrid, multi_ion
+
+
+def main():
+    # --- multi-species batch -------------------------------------------------
+    app = CollisionProxyApp(multi_ion(
+        num_mesh_nodes=4, grid=VelocityGrid(nv_par=16, nv_perp=15),
+    ))
+    cfg = app.config
+    print(f"multi-ion plasma: {[s.name for s in cfg.species]}")
+    print(f"batch: {cfg.num_mesh_nodes} nodes x {len(cfg.species)} species "
+          f"= {cfg.num_batch} systems\n")
+
+    res = app.run(1)
+    step = res.step_results[0]
+    ns = len(cfg.species)
+    print(f"{'species':>10} {'mass/m_e':>9} "
+          + " ".join(f"picard{k}" for k in range(5)))
+    for idx, sp in enumerate(cfg.species):
+        counts = step.linear_iterations[:, idx::ns].mean(axis=1)
+        print(f"{sp.name:>10} {sp.mass:9.0f} "
+              + " ".join(f"{c:7.1f}" for c in counts))
+    print("\nLighter species collide harder (nu ~ 1/sqrt(m)): iteration "
+          "counts fall\nmonotonically from electrons to the carbon "
+          "impurity — and the per-system\nmonitoring means nobody waits "
+          "for anybody.")
+
+    # --- multi-GPU node ------------------------------------------------------
+    print("\nscaling one large mixed batch across a Summit node "
+          "(6x V100, ELL):")
+    its = np.tile([32, 4], 1920)  # 3840 systems, electron/ion mixed
+    print(f"{'GPUs':>5} {'time [ms]':>10} {'speedup':>8} {'efficiency':>11}")
+    series = gpu_scaling_study(
+        SUMMIT_NODE, "ell", 992, 8554, its, stored_nnz=9 * 992
+    )
+    t1 = series[0].total_time_s
+    for g, est in enumerate(series, 1):
+        print(f"{g:>5} {est.total_time_s * 1e3:10.3f} "
+              f"{t1 / est.total_time_s:8.2f} "
+              f"{est.parallel_efficiency:11.2f}")
+    print("\nNear-linear until each GPU's shard stops saturating its "
+          "compute units —\nthe batch, not the solver, is the scaling "
+          "limit.")
+
+
+if __name__ == "__main__":
+    main()

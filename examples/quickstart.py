@@ -1,0 +1,70 @@
+"""Quickstart: solve a batch of small sparse systems with batched BiCGSTAB.
+
+Builds a batch of diagonally-dominant sparse systems sharing one sparsity
+pattern, solves them in a single batched call with per-system convergence
+monitoring, and prints what each system needed.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.core import (
+    AbsoluteResidual,
+    BatchBicgstab,
+    BatchCsr,
+    BatchLogger,
+    to_format,
+)
+
+
+def build_batch(num_batch=8, n=200, density=0.02, seed=0):
+    """Random batch with a shared pattern and per-system values."""
+    rng = np.random.default_rng(seed)
+    pattern = rng.random((1, n, n)) < density
+    values = rng.standard_normal((num_batch, n, n)) * pattern
+    # Make systems increasingly harder: scale off-diagonal strength.
+    strength = np.linspace(0.2, 0.95, num_batch)[:, None, None]
+    values = values * strength
+    i = np.arange(n)
+    values[:, i, i] = np.abs(values).sum(axis=2) + 1.0
+    return BatchCsr.from_dense(values)
+
+
+def main():
+    matrix = build_batch()
+    print(f"batch: {matrix}")
+
+    # Manufactured solutions so we can check the error.
+    rng = np.random.default_rng(1)
+    x_true = rng.standard_normal((matrix.num_batch, matrix.num_rows))
+    b = matrix.apply(x_true)
+
+    # The ELL format is usually the faster layout for uniform-row matrices.
+    ell = to_format(matrix, "ell")
+
+    solver = BatchBicgstab(
+        preconditioner="jacobi",
+        criterion=AbsoluteResidual(1e-10),
+        max_iter=500,
+        logger=BatchLogger(record_history=True),
+    )
+    result = solver.solve(ell, b)
+
+    print(f"\nall converged: {result.all_converged}")
+    print(f"{'system':>7} {'iterations':>11} {'residual':>12} {'error':>12}")
+    err = np.abs(result.x - x_true).max(axis=1)
+    for k in range(result.num_batch):
+        print(
+            f"{k:>7} {result.iterations[k]:>11} "
+            f"{result.residual_norms[k]:12.3e} {err[k]:12.3e}"
+        )
+    print(
+        "\nNote the per-system iteration counts: each system stopped "
+        "independently\nthe moment it met the tolerance — no system pays "
+        "for the hardest one."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,117 @@
+"""Conversions between batch-matrix formats.
+
+All conversions preserve the stored sparsity pattern exactly (including
+explicitly-stored zeros) except ``*_to_dense`` which materialises, and
+``dense_to_*`` which drops entries that are zero in *every* system (union
+pattern).  Round trips ``csr -> ell -> csr`` and ``csr -> dense -> csr``
+on matrices whose stored entries are non-zero are exact.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .batch_csr import BatchCsr
+from .batch_dense import BatchDense
+from .batch_ell import PAD_COL, BatchEll
+from .types import DTYPE, INDEX_DTYPE
+
+__all__ = [
+    "csr_to_ell",
+    "ell_to_csr",
+    "csr_to_dense",
+    "ell_to_dense",
+    "dense_to_csr",
+    "dense_to_ell",
+    "to_format",
+]
+
+
+def csr_to_ell(matrix: BatchCsr) -> BatchEll:
+    """Convert shared-pattern CSR to shared-pattern ELL.
+
+    ``max_nnz_row`` becomes the maximum row length of the CSR pattern; all
+    shorter rows are padded.
+    """
+    nnz_row = matrix.nnz_per_row()
+    max_nnz_row = max(int(nnz_row.max(initial=0)), 1)
+    num_rows = matrix.num_rows
+
+    col_idxs = np.full((max_nnz_row, num_rows), PAD_COL, dtype=INDEX_DTYPE)
+    values = np.zeros((matrix.num_batch, max_nnz_row, num_rows), dtype=DTYPE)
+
+    rows = np.repeat(np.arange(num_rows, dtype=np.int64), nnz_row)
+    slot = np.arange(rows.size, dtype=np.int64) - matrix.row_ptrs[:-1].astype(np.int64)[rows]
+    col_idxs[slot, rows] = matrix.col_idxs
+    values[:, slot, rows] = matrix.values
+    return BatchEll(matrix.num_cols, col_idxs, values, check=False)
+
+
+def ell_to_csr(matrix: BatchEll) -> BatchCsr:
+    """Convert shared-pattern ELL to shared-pattern CSR (padding dropped)."""
+    valid = matrix.col_idxs != PAD_COL
+    slot, rows = np.nonzero(valid)
+    # CSR needs row-major, column-sorted entry order within each row.
+    cols = matrix.col_idxs[slot, rows]
+    order = np.lexsort((cols, rows))
+    rows_o, cols_o = rows[order], cols[order]
+    vals = matrix.values[:, slot[order], rows_o]
+
+    row_counts = np.bincount(rows_o, minlength=matrix.num_rows)
+    row_ptrs = np.zeros(matrix.num_rows + 1, dtype=INDEX_DTYPE)
+    np.cumsum(row_counts, out=row_ptrs[1:])
+    return BatchCsr(matrix.num_cols, row_ptrs, cols_o.astype(INDEX_DTYPE), vals, check=False)
+
+
+def csr_to_dense(matrix: BatchCsr) -> BatchDense:
+    """Materialise a CSR batch as dense."""
+    out = np.zeros((matrix.num_batch, matrix.num_rows, matrix.num_cols), dtype=DTYPE)
+    rows = np.repeat(np.arange(matrix.num_rows, dtype=np.int64), matrix.nnz_per_row())
+    out[:, rows, matrix.col_idxs] = matrix.values
+    return BatchDense(out)
+
+
+def ell_to_dense(matrix: BatchEll) -> BatchDense:
+    """Materialise an ELL batch as dense."""
+    out = np.zeros((matrix.num_batch, matrix.num_rows, matrix.num_cols), dtype=DTYPE)
+    slot, rows = np.nonzero(matrix.col_idxs != PAD_COL)
+    cols = matrix.col_idxs[slot, rows]
+    out[:, rows, cols] = matrix.values[:, slot, rows]
+    return BatchDense(out)
+
+
+def dense_to_csr(matrix: BatchDense, *, tol: float = 0.0) -> BatchCsr:
+    """Compress a dense batch to CSR with the union sparsity pattern."""
+    return BatchCsr.from_dense(matrix.values, tol=tol)
+
+
+def dense_to_ell(matrix: BatchDense, *, tol: float = 0.0) -> BatchEll:
+    """Compress a dense batch to ELL with the union sparsity pattern."""
+    return BatchEll.from_dense(matrix.values, tol=tol)
+
+
+_CONVERTERS = {
+    ("csr", "ell"): csr_to_ell,
+    ("csr", "dense"): csr_to_dense,
+    ("ell", "csr"): ell_to_csr,
+    ("ell", "dense"): ell_to_dense,
+    ("dense", "csr"): dense_to_csr,
+    ("dense", "ell"): dense_to_ell,
+}
+
+
+def to_format(matrix, format_name: str):
+    """Convert ``matrix`` to the format named ``format_name``.
+
+    Identity conversions return the input unchanged.
+    """
+    src = matrix.format_name
+    if src == format_name:
+        return matrix
+    try:
+        return _CONVERTERS[(src, format_name)](matrix)
+    except KeyError:
+        raise ValueError(
+            f"no conversion from {src!r} to {format_name!r}; "
+            f"known formats: csr, ell, dense"
+        ) from None

@@ -1,0 +1,81 @@
+"""Batched solvers: Krylov iterative methods and direct baselines.
+
+Iterative (per-system convergence monitoring, pluggable preconditioner /
+criterion / logger — the paper's contribution):
+
+* :class:`~repro.core.solvers.bicgstab.BatchBicgstab` — Algorithm 1, the
+  solver behind every result in the paper.
+* :class:`~repro.core.solvers.cg.BatchCg`
+* :class:`~repro.core.solvers.gmres.BatchGmres`
+* :class:`~repro.core.solvers.richardson.BatchRichardson`
+
+Direct baselines:
+
+* :class:`~repro.core.solvers.direct_banded.BatchBandedLu` — the LAPACK
+  ``dgbsv`` CPU baseline.
+* :class:`~repro.core.solvers.direct_qr.BatchBandedQr` — the cuSolver
+  batched sparse QR baseline.
+
+Ablation:
+
+* :class:`~repro.core.solvers.block_diag.MonolithicBlockSolver` — the
+  block-diagonal monolithic alternative dismissed in Section II.
+"""
+
+from .base import BatchedIterativeSolver, safe_divide
+from .bicgstab import BatchBicgstab
+from .block_diag import MonolithicBlockSolver, assemble_block_diagonal
+from .cg import BatchCg
+from .cgs import BatchCgs
+from .direct_banded import BatchBandedLu, banded_lu_solve
+from .direct_dense import BatchDenseLu, dense_lu_solve
+from .direct_qr import BatchBandedQr, banded_qr_solve
+from .gmres import BatchGmres
+from .richardson import BatchRichardson
+from .tridiag import BatchThomas, BatchTridiag, extract_tridiagonal, thomas_solve
+
+__all__ = [
+    "BatchedIterativeSolver",
+    "safe_divide",
+    "BatchBicgstab",
+    "BatchCg",
+    "BatchCgs",
+    "BatchGmres",
+    "BatchRichardson",
+    "BatchBandedLu",
+    "banded_lu_solve",
+    "BatchDenseLu",
+    "dense_lu_solve",
+    "BatchBandedQr",
+    "banded_qr_solve",
+    "MonolithicBlockSolver",
+    "assemble_block_diagonal",
+    "BatchThomas",
+    "BatchTridiag",
+    "thomas_solve",
+    "extract_tridiagonal",
+    "make_solver",
+]
+
+_SOLVERS = {
+    "bicgstab": BatchBicgstab,
+    "cg": BatchCg,
+    "cgs": BatchCgs,
+    "gmres": BatchGmres,
+    "richardson": BatchRichardson,
+}
+
+
+def make_solver(name: str, **kwargs):
+    """Factory: build an iterative solver by name.
+
+    Accepted names: ``bicgstab``, ``cg``, ``cgs``, ``gmres``, ``richardson``.
+    Keyword arguments are forwarded to the solver constructor.
+    """
+    try:
+        cls = _SOLVERS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown solver {name!r}; choices: {sorted(_SOLVERS)}"
+        ) from None
+    return cls(**kwargs)

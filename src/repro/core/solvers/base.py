@@ -1,0 +1,189 @@
+"""Common machinery for the batched iterative solvers.
+
+Every iterative solver in this package follows the paper's fused-kernel
+design translated to NumPy:
+
+* the whole solve — all components, all iterations — runs inside one Python
+  call (one "kernel launch"),
+* every system in the batch is monitored **individually**: a per-system
+  ``active`` mask freezes converged systems so they stop updating (and stop
+  being perturbed — the paper notes that over-iterating converged systems
+  can diverge them),
+* per-system scalars are guarded with :func:`safe_divide` so frozen or
+  degenerate systems never produce NaNs that would poison the batch,
+* preconditioner, stopping criterion, and logger are pluggable components,
+  mirroring the C++ template parameters of the CUDA kernel.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...utils.validation import as_f64_array, check_positive
+from ..batch_dense import batch_norm2
+from ..logging_ import BatchLogger
+from ..preconditioners import (
+    BatchPreconditioner,
+    IdentityPreconditioner,
+    make_preconditioner,
+)
+from ..stop import AbsoluteResidual, StoppingCriterion
+from ..types import BatchShape, SolveResult
+from ..workspace import SolverWorkspace
+
+__all__ = ["BatchedIterativeSolver", "safe_divide"]
+
+
+def safe_divide(
+    num: np.ndarray, den: np.ndarray, active: np.ndarray, out: np.ndarray | None = None
+) -> np.ndarray:
+    """Per-system division that returns 0 where inactive or singular.
+
+    ``num / den`` is evaluated only for systems that are still active *and*
+    have a non-zero denominator; everywhere else the result is 0, which
+    turns the subsequent vector updates into no-ops for frozen systems.
+    """
+    ok = active & (den != 0.0)
+    if out is None:
+        out = np.zeros_like(num)
+    else:
+        out[...] = 0.0
+    np.divide(num, den, out=out, where=ok)
+    return out
+
+
+class BatchedIterativeSolver:
+    """Base class: component wiring + the per-system monitoring loop helpers.
+
+    Parameters
+    ----------
+    preconditioner:
+        A :class:`~repro.core.preconditioners.BatchPreconditioner` instance,
+        a factory name (``"jacobi"``, ``"identity"``, ...), or None for the
+        identity.
+    criterion:
+        A :class:`~repro.core.stop.StoppingCriterion`; defaults to the
+        paper's absolute residual threshold of 1e-10.
+    max_iter:
+        Iteration cap per system.
+    logger:
+        Optional :class:`~repro.core.logging_.BatchLogger`; one is created
+        internally when omitted.
+    """
+
+    name = "abstract"
+
+    def __init__(
+        self,
+        preconditioner: BatchPreconditioner | str | None = None,
+        criterion: StoppingCriterion | None = None,
+        max_iter: int = 500,
+        logger: BatchLogger | None = None,
+    ) -> None:
+        if isinstance(preconditioner, str):
+            preconditioner = make_preconditioner(preconditioner)
+        self.preconditioner = preconditioner or IdentityPreconditioner()
+        self.criterion = criterion or AbsoluteResidual(1e-10)
+        self.max_iter = int(check_positive(max_iter, "max_iter"))
+        self.logger = logger or BatchLogger()
+        self._workspace: SolverWorkspace | None = None
+
+    # -- subclass hook -------------------------------------------------------
+
+    def _iterate(
+        self,
+        matrix,
+        b: np.ndarray,
+        x: np.ndarray,
+        precond: BatchPreconditioner,
+        ws: SolverWorkspace,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Run the iteration; return (final per-system residual norms,
+        per-system converged mask).  ``x`` is updated in place."""
+        raise NotImplementedError
+
+    # -- public API -----------------------------------------------------------
+
+    def solve(
+        self,
+        matrix,
+        b: np.ndarray,
+        x0: np.ndarray | None = None,
+    ) -> SolveResult:
+        """Solve ``A[k] x[k] = b[k]`` for every system in the batch.
+
+        Parameters
+        ----------
+        matrix:
+            Any batch-matrix format (CSR / ELL / dense).
+        b:
+            Right-hand sides, shape ``(num_batch, num_rows)``.
+        x0:
+            Optional initial guesses (same shape); zero when omitted.  The
+            array is not modified.
+
+        Returns
+        -------
+        :class:`~repro.core.types.SolveResult` with per-system iteration
+        counts, residual norms and convergence flags.
+        """
+        shape: BatchShape = matrix.shape
+        shape.require_square()
+        b = as_f64_array(b, "b", ndim=2)
+        shape.compatible_vector(b, "b")
+
+        ws = self._get_workspace(shape.num_batch, shape.num_rows)
+        x = ws.vector("x")
+        if x0 is None:
+            x[...] = 0.0
+        else:
+            x0 = as_f64_array(x0, "x0", ndim=2)
+            shape.compatible_vector(x0, "x0")
+            x[...] = x0
+
+        precond = self.preconditioner.generate(matrix)
+        self.logger.initialize(shape.num_batch)
+
+        res_norms, converged = self._iterate(matrix, b, x, precond, ws)
+
+        return SolveResult(
+            x=x.copy(),
+            iterations=self.logger.iterations.copy(),
+            residual_norms=res_norms.copy(),
+            converged=converged.copy(),
+            solver=self.name,
+            format=getattr(matrix, "format_name", "unknown"),
+            residual_history=(
+                list(self.logger.history) if self.logger.record_history else None
+            ),
+        )
+
+    # -- shared helpers ---------------------------------------------------------
+
+    def _get_workspace(self, num_batch: int, num_rows: int) -> SolverWorkspace:
+        """Reuse the cached workspace when dimensions match (zero-alloc path)."""
+        ws = self._workspace
+        if ws is None or not ws.matches(num_batch, num_rows):
+            ws = SolverWorkspace(num_batch, num_rows)
+            self._workspace = ws
+        return ws
+
+    def _init_monitor(
+        self, matrix, b: np.ndarray, x: np.ndarray, r: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Compute the initial residual into ``r`` and prime the criterion.
+
+        Returns ``(res_norms, converged)`` for iteration 0 — systems whose
+        initial guess already satisfies the criterion start out frozen with
+        an iteration count of zero.
+        """
+        matrix.apply(x, out=r)
+        np.subtract(b, r, out=r)
+        res_norms = batch_norm2(r)
+        self.criterion.initialize(batch_norm2(b), res_norms)
+        converged = self.criterion.check(res_norms)
+        # Iteration count 0 for systems converged on entry (already the
+        # logger's initial state); just record their final norms.
+        if np.any(converged):
+            self.logger.log_iteration(-1, res_norms, converged)
+        return res_norms, converged

@@ -1,0 +1,157 @@
+"""Batched BiCGSTAB (Algorithm 1 of the paper, van der Vorst 1992).
+
+The solver runs all systems of the batch through the same instruction
+stream — exactly like the fused CUDA kernel where one thread block owns one
+system — while per-system ``active`` masks implement the paper's
+system-individual convergence monitoring:
+
+* converged systems stop contributing to any update (their step scalars are
+  forced to zero by :func:`~repro.core.solvers.base.safe_divide`),
+* each system's iteration count and final residual are logged individually,
+* the loop exits as soon as *every* system has converged, so a batch of
+  easy ion systems never pays for hard electron systems beyond the mask
+  bookkeeping (the timing model charges per-system iterations, not the
+  loop-trip count).
+
+The mid-iteration early exit on ``||s|| < tau`` (with the ``x += alpha *
+p_hat`` half-step update) is implemented per system as in Algorithm 1.
+
+Convergence flags raised by the *recursive* residual are confirmed against
+the true residual ``b - A x`` before a system is frozen; systems whose
+recursion has drifted (possible after a near-breakdown) are restarted from
+the true residual instead — the standard stagnation recovery, which keeps
+the returned residual norms trustworthy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..batch_dense import batch_dot, batch_norm2
+from .base import BatchedIterativeSolver, safe_divide
+
+__all__ = ["BatchBicgstab"]
+
+
+class BatchBicgstab(BatchedIterativeSolver):
+    """Batched preconditioned BiCGSTAB with per-system termination."""
+
+    name = "bicgstab"
+
+    def _iterate(self, matrix, b, x, precond, ws):
+        r = ws.vector("r")
+        r_hat = ws.vector("r_hat")
+        p = ws.vector("p", zero=True)
+        p_hat = ws.vector("p_hat")
+        v = ws.vector("v", zero=True)
+        s = ws.vector("s")
+        s_hat = ws.vector("s_hat")
+        t = ws.vector("t")
+
+        res_norms, converged = self._init_monitor(matrix, b, x, r)
+        r_hat[...] = r
+
+        rho_old = ws.scalar("rho_old", fill=1.0)
+        alpha = ws.scalar("alpha", fill=1.0)
+        omega = ws.scalar("omega", fill=1.0)
+
+        active = ~converged
+        final_norms = res_norms.copy()
+
+        def verify_and_freeze(candidates, it):
+            """Confirm candidate convergences against the true residual.
+
+            Confirmed systems are logged and frozen.  Systems whose
+            recursive residual drifted are *restarted*: their Krylov state
+            is rebuilt from the true residual and they keep iterating.
+            Returns ``(confirmed, restarted)`` masks.
+            """
+            true_r = matrix.apply(x)
+            np.subtract(b, true_r, out=true_r)
+            true_norms = batch_norm2(true_r)
+            confirmed = candidates & self.criterion.check(true_norms)
+            if np.any(confirmed):
+                final_norms[confirmed] = true_norms[confirmed]
+                self.logger.log_iteration(it, final_norms, confirmed)
+            restarted = candidates & ~confirmed
+            if np.any(restarted):
+                mask = restarted[:, None]
+                r[...] = np.where(mask, true_r, r)
+                r_hat[...] = np.where(mask, true_r, r_hat)
+                p[...] = np.where(mask, 0.0, p)
+                v[...] = np.where(mask, 0.0, v)
+                rho_old[...] = np.where(restarted, 1.0, rho_old)
+                final_norms[restarted] = true_norms[restarted]
+            return confirmed, restarted
+
+        for it in range(self.max_iter):
+            if not np.any(active):
+                break
+
+            # `cont` marks systems executing the rest of THIS iteration;
+            # systems restarted mid-iteration sit the remainder out.
+            cont = active.copy()
+
+            # rho = r_hat . r ; beta = (rho / rho_old) * (alpha / omega)
+            rho = batch_dot(r_hat, r)
+            beta = safe_divide(rho, rho_old, cont) * safe_divide(alpha, omega, cont)
+
+            # p = r + beta * (p - omega * v)   (restart-safe: beta = 0
+            # reduces this to the steepest-descent direction p = r)
+            p -= omega[:, None] * v
+            p *= beta[:, None]
+            p += r
+
+            precond.apply(p, out=p_hat)
+            matrix.apply(p_hat, out=v)
+
+            # alpha = rho / (r_hat . v)
+            safe_divide(rho, batch_dot(r_hat, v), cont, out=alpha)
+
+            # s = r - alpha * v
+            np.multiply(v, alpha[:, None], out=s)
+            np.subtract(r, s, out=s)
+
+            s_norms = batch_norm2(s)
+            # Early exit per system: x += alpha * p_hat, then freeze.
+            s_conv = cont & self.criterion.check(s_norms)
+            if np.any(s_conv):
+                x += np.where(s_conv[:, None], alpha[:, None] * p_hat, 0.0)
+                confirmed, restarted = verify_and_freeze(s_conv, it)
+                converged |= confirmed
+                active &= ~confirmed
+                cont &= ~s_conv  # both confirmed and restarted sit out
+                if not np.any(active):
+                    break
+
+            precond.apply(s, out=s_hat)
+            matrix.apply(s_hat, out=t)
+
+            # omega = (t . s) / (t . t)
+            safe_divide(batch_dot(t, s), batch_dot(t, t), cont, out=omega)
+
+            # x += alpha * p_hat + omega * s_hat   (zero steps when frozen
+            # or restarted — their alpha/omega were forced to 0)
+            alpha_eff = np.where(cont, alpha, 0.0)
+            omega_eff = np.where(cont, omega, 0.0)
+            x += alpha_eff[:, None] * p_hat
+            x += omega_eff[:, None] * s_hat
+
+            # r = s - omega * t   (only for continuing systems)
+            np.multiply(t, omega[:, None], out=t)
+            np.subtract(s, t, out=t)
+            r[...] = np.where(cont[:, None], t, r)
+
+            rho_old[...] = np.where(cont, rho, rho_old)
+
+            res_norms = batch_norm2(r)
+            final_norms = np.where(active, res_norms, final_norms)
+            newly = cont & self.criterion.check(res_norms)
+            if np.any(newly):
+                confirmed, _ = verify_and_freeze(newly, it)
+                converged |= confirmed
+                active &= ~confirmed
+            self.logger.log_history(final_norms)
+
+        self.logger.finalize(final_norms, ~converged, self.max_iter)
+        return final_norms, converged

@@ -1,0 +1,67 @@
+"""Batched preconditioned Conjugate Gradient.
+
+CG is provided for the symmetric-positive-definite problems a batched-solver
+user may bring (the XGC matrices themselves are nonsymmetric, which is why
+the paper's results use BiCGSTAB).  The per-system monitoring machinery is
+identical to :class:`~repro.core.solvers.bicgstab.BatchBicgstab`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..batch_dense import batch_dot, batch_norm2
+from .base import BatchedIterativeSolver, safe_divide
+
+__all__ = ["BatchCg"]
+
+
+class BatchCg(BatchedIterativeSolver):
+    """Batched preconditioned CG with per-system termination."""
+
+    name = "cg"
+
+    def _iterate(self, matrix, b, x, precond, ws):
+        r = ws.vector("r")
+        z = ws.vector("z")
+        p = ws.vector("p")
+        w = ws.vector("w")
+
+        res_norms, converged = self._init_monitor(matrix, b, x, r)
+        active = ~converged
+        final_norms = res_norms.copy()
+
+        precond.apply(r, out=z)
+        p[...] = z
+        rz_old = batch_dot(r, z)
+
+        for it in range(self.max_iter):
+            if not np.any(active):
+                break
+
+            matrix.apply(p, out=w)
+            alpha = safe_divide(rz_old, batch_dot(p, w), active)
+
+            x += alpha[:, None] * p
+            r -= alpha[:, None] * w
+
+            res_norms = batch_norm2(r)
+            final_norms = np.where(active, res_norms, final_norms)
+            newly = active & self.criterion.check(res_norms)
+            if np.any(newly):
+                self.logger.log_iteration(it, final_norms, newly)
+                converged |= newly
+                active &= ~newly
+            self.logger.log_history(final_norms)
+            if not np.any(active):
+                break
+
+            precond.apply(r, out=z)
+            rz_new = batch_dot(r, z)
+            beta = safe_divide(rz_new, rz_old, active)
+            p *= beta[:, None]
+            p += z
+            rz_old = np.where(active, rz_new, rz_old)
+
+        self.logger.finalize(final_norms, ~converged, self.max_iter)
+        return final_norms, converged

@@ -1,0 +1,169 @@
+"""Batched restarted GMRES with right preconditioning.
+
+GMRES(m) is the general-purpose Krylov option in the batched solver family.
+Right preconditioning (solve ``A M^{-1} y = b``, ``x = M^{-1} u``) is used
+so that the Arnoldi residual estimate tracks the *true* residual norm, which
+keeps the per-system stopping criterion meaningful.
+
+Per-system termination inside a restart cycle works by *recording* the
+Krylov subspace size at which each system's residual estimate met the
+criterion; the cycle completes for the batch (the instruction stream is
+shared, as on the GPU), but each system's solution update only uses its own
+recorded subspace size, and logged iteration counts are per system.  True
+residuals are recomputed at every restart boundary, so an optimistic
+estimate can never mark an unconverged system as done.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...utils.validation import check_positive
+from ..batch_dense import batch_dot, batch_norm2
+from .base import BatchedIterativeSolver, safe_divide
+
+__all__ = ["BatchGmres"]
+
+
+class BatchGmres(BatchedIterativeSolver):
+    """Batched restarted GMRES(m) with per-system termination.
+
+    Parameters
+    ----------
+    restart:
+        Krylov subspace dimension per cycle (default 30).
+    """
+
+    name = "gmres"
+
+    def __init__(self, *args, restart: int = 30, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.restart = int(check_positive(restart, "restart"))
+
+    def _iterate(self, matrix, b, x, precond, ws):
+        nb, n = x.shape
+        m = min(self.restart, n)
+
+        r = ws.vector("r")
+        res_norms, converged = self._init_monitor(matrix, b, x, r)
+        active = ~converged
+        final_norms = res_norms.copy()
+
+        # Krylov basis and Hessenberg storage (reused across cycles).
+        basis = np.zeros((m + 1, nb, n))
+        hess = np.zeros((nb, m + 1, m))  # becomes R after Givens
+        givens_c = np.zeros((nb, m))
+        givens_s = np.zeros((nb, m))
+        g = np.zeros((nb, m + 1))
+        y = np.zeros((nb, m))
+        work = ws.vector("gmres_work")
+
+        total_it = 0
+        logged = converged.copy()
+        while total_it < self.max_iter and np.any(active):
+            # -- start a cycle from the true residual ------------------------
+            matrix.apply(x, out=r)
+            np.subtract(b, r, out=r)
+            beta = batch_norm2(r)
+            inv_beta = safe_divide(np.ones(nb), beta, active)
+            basis[0] = r * inv_beta[:, None]
+            hess[...] = 0.0
+            g[...] = 0.0
+            g[:, 0] = beta
+            y[...] = 0.0
+            used = np.zeros(nb, dtype=np.int64)  # subspace size per system
+            cycle_active = active.copy()
+
+            steps = min(m, self.max_iter - total_it)
+            j_done = 0
+            for j in range(steps):
+                # w = A M^-1 v_j
+                precond.apply(basis[j], out=work)
+                matrix.apply(work, out=basis[j + 1])
+                w = basis[j + 1]
+
+                # Modified Gram-Schmidt against v_0..v_j.
+                for i in range(j + 1):
+                    hij = batch_dot(w, basis[i])
+                    hess[:, i, j] = hij
+                    w -= hij[:, None] * basis[i]
+                hlast = batch_norm2(w)
+                hess[:, j + 1, j] = hlast
+                inv_h = safe_divide(np.ones(nb), hlast, cycle_active)
+                w *= inv_h[:, None]
+
+                # Apply previous Givens rotations to the new column.
+                col = hess[:, : j + 2, j]
+                for i in range(j):
+                    ci, si = givens_c[:, i], givens_s[:, i]
+                    t0 = ci * col[:, i] + si * col[:, i + 1]
+                    t1 = -si * col[:, i] + ci * col[:, i + 1]
+                    col[:, i], col[:, i + 1] = t0, t1
+                # New rotation zeroing col[j+1].
+                denom = np.hypot(col[:, j], col[:, j + 1])
+                cj = safe_divide(col[:, j], denom, cycle_active)
+                sj = safe_divide(col[:, j + 1], denom, cycle_active)
+                # Frozen/breakdown systems get the identity rotation.
+                degenerate = denom == 0.0
+                cj[degenerate] = 1.0
+                givens_c[:, j], givens_s[:, j] = cj, sj
+                col[:, j] = cj * col[:, j] + sj * col[:, j + 1]
+                col[:, j + 1] = 0.0
+                g[:, j + 1] = -sj * g[:, j]
+                g[:, j] = cj * g[:, j]
+
+                used = np.where(cycle_active, j + 1, used)
+
+                est = np.abs(g[:, j + 1])
+                newly = cycle_active & self.criterion.check(est)
+                if np.any(newly):
+                    self.logger.log_iteration(total_it + j, est, newly)
+                    logged |= newly
+                    cycle_active &= ~newly
+                self.logger.log_history(np.where(active, est, final_norms))
+                j_done = j + 1
+                if not np.any(cycle_active):
+                    break
+
+            total_it += j_done
+
+            # -- per-system triangular solve and solution update -------------
+            # used[k] holds the subspace size system k actually needs.
+            for i in range(j_done - 1, -1, -1):
+                acc = g[:, i].copy()
+                for jj in range(i + 1, j_done):
+                    acc -= hess[:, i, jj] * y[:, jj]
+                in_range = (i < used) & active
+                y[:, i] = np.where(
+                    in_range,
+                    safe_divide(acc, hess[:, i, i], in_range),
+                    0.0,
+                )
+
+            work[...] = 0.0
+            for jj in range(j_done):
+                work += y[:, jj][:, None] * basis[jj]
+            update = precond.apply(work)
+            x += np.where(active[:, None], update, 0.0)
+
+            # -- recompute true residuals at the restart boundary ------------
+            matrix.apply(x, out=r)
+            np.subtract(b, r, out=r)
+            res_norms = batch_norm2(r)
+            final_norms = np.where(active, res_norms, final_norms)
+            true_conv = active & self.criterion.check(res_norms)
+            if np.any(true_conv):
+                # Systems the estimate already caught keep their mid-cycle
+                # iteration count; systems it lagged on are logged now.
+                est_missed = true_conv & ~logged
+                if np.any(est_missed):
+                    self.logger.log_iteration(total_it - 1, final_norms, est_missed)
+                    logged |= est_missed
+                converged |= true_conv
+                active &= ~true_conv
+            # Systems whose estimate was optimistic stay active; their
+            # (premature) logged count will be overwritten next cycle.
+            logged &= ~active
+
+        self.logger.finalize(final_norms, ~converged, self.max_iter)
+        return final_norms, converged

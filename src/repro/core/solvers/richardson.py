@@ -1,0 +1,64 @@
+"""Batched (preconditioned, damped) Richardson iteration.
+
+The simplest preconditionable iterative method: ``x += relax * M^-1 r``.
+With the Jacobi preconditioner this is damped Jacobi relaxation.  Useful as
+a smoke-test solver, as a smoother, and as the cheapest point in the
+solver-composability space the Ginkgo design exposes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...utils.validation import check_positive
+from ..batch_dense import batch_norm2
+from .base import BatchedIterativeSolver
+
+__all__ = ["BatchRichardson"]
+
+
+class BatchRichardson(BatchedIterativeSolver):
+    """Batched damped Richardson iteration with per-system termination.
+
+    Parameters
+    ----------
+    relaxation:
+        Damping factor applied to every correction (default 1.0).
+    """
+
+    name = "richardson"
+
+    def __init__(self, *args, relaxation: float = 1.0, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.relaxation = float(check_positive(relaxation, "relaxation"))
+
+    def _iterate(self, matrix, b, x, precond, ws):
+        r = ws.vector("r")
+        z = ws.vector("z")
+
+        res_norms, converged = self._init_monitor(matrix, b, x, r)
+        active = ~converged
+        final_norms = res_norms.copy()
+
+        for it in range(self.max_iter):
+            if not np.any(active):
+                break
+
+            precond.apply(r, out=z)
+            # Frozen systems take a zero step.
+            x += np.where(active[:, None], self.relaxation * z, 0.0)
+
+            matrix.apply(x, out=r)
+            np.subtract(b, r, out=r)
+
+            res_norms = batch_norm2(r)
+            final_norms = np.where(active, res_norms, final_norms)
+            newly = active & self.criterion.check(res_norms)
+            if np.any(newly):
+                self.logger.log_iteration(it, final_norms, newly)
+                converged |= newly
+                active &= ~newly
+            self.logger.log_history(final_norms)
+
+        self.logger.finalize(final_norms, ~converged, self.max_iter)
+        return final_norms, converged

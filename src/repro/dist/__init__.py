@@ -1,0 +1,25 @@
+"""Simulated multi-rank (MPI-style) and multi-GPU batch distribution."""
+
+from .multi_gpu import (
+    SUMMIT_NODE,
+    GpuNode,
+    NodeSolveEstimate,
+    estimate_node_solve,
+    gpu_scaling_study,
+)
+from .partition import Partition, imbalance, partition_batch
+from .runner import DistributedRun, RankResult, run_distributed
+
+__all__ = [
+    "Partition",
+    "partition_batch",
+    "imbalance",
+    "DistributedRun",
+    "RankResult",
+    "run_distributed",
+    "GpuNode",
+    "SUMMIT_NODE",
+    "NodeSolveEstimate",
+    "estimate_node_solve",
+    "gpu_scaling_study",
+]

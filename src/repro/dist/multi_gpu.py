@@ -1,0 +1,145 @@
+"""Multi-GPU node model: batched solves across the GPUs of one node.
+
+The paper's V100 numbers come from Summit, whose nodes carry **six** V100s
+(reproducibility appendix); production XGC distributes its mesh-node batch
+over all of them.  Because the systems are independent, multi-GPU execution
+is one more level of the same decomposition: split the batch, solve each
+shard on its GPU, synchronise at the end of the collision step.
+
+The model composes the single-GPU estimator over the shards and adds one
+inter-GPU synchronisation (the Picard loop's reduction of convergence
+flags/moments), exposing where multi-GPU scaling saturates: once each
+shard drops below its GPU's slot count, extra GPUs stop helping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..gpu.hardware import GpuSpec, V100
+from ..gpu.timing import estimate_iterative_solve
+from ..utils.validation import check_positive
+from .partition import partition_batch
+
+__all__ = ["GpuNode", "SUMMIT_NODE", "NodeSolveEstimate", "estimate_node_solve",
+           "gpu_scaling_study"]
+
+
+@dataclass(frozen=True)
+class GpuNode:
+    """One multi-GPU compute node.
+
+    Attributes
+    ----------
+    gpu:
+        GPU model populating the node.
+    gpus_per_node:
+        Device count.
+    sync_overhead_us:
+        Cost of the end-of-solve synchronisation across the node's GPUs
+        (NVLink/XGMI reduction of convergence metadata).
+    """
+
+    gpu: GpuSpec
+    gpus_per_node: int
+    sync_overhead_us: float = 15.0
+
+    def __post_init__(self) -> None:
+        check_positive(self.gpus_per_node, "gpus_per_node")
+
+
+#: A Summit node: six NVLink-connected V100s (reproducibility appendix).
+SUMMIT_NODE = GpuNode(gpu=V100, gpus_per_node=6)
+
+
+@dataclass(frozen=True)
+class NodeSolveEstimate:
+    """A modelled node-level batched solve.
+
+    Attributes
+    ----------
+    total_time_s:
+        Slowest GPU's shard plus the synchronisation.
+    per_gpu_times_s:
+        Each GPU's shard time.
+    num_gpus_used:
+        GPUs that received at least one system.
+    parallel_efficiency:
+        Single-GPU time divided by (GPUs used x node time).
+    """
+
+    total_time_s: float
+    per_gpu_times_s: np.ndarray
+    num_gpus_used: int
+    parallel_efficiency: float
+
+
+def estimate_node_solve(
+    node: GpuNode,
+    fmt: str,
+    num_rows: int,
+    nnz: int,
+    iterations: np.ndarray,
+    *,
+    stored_nnz: int | None = None,
+    num_gpus: int | None = None,
+) -> NodeSolveEstimate:
+    """Model one batched solve spread over a node's GPUs.
+
+    The batch is split in contiguous blocks: the proxy app interleaves the
+    species node by node, so block shards stay ion/electron-mixed on every
+    GPU (a cyclic split with an even GPU count would put all electrons on
+    half the devices — the parity trap the partition tests document).
+    """
+    iterations = np.asarray(iterations)
+    gpus = node.gpus_per_node if num_gpus is None else int(num_gpus)
+    if not 1 <= gpus <= node.gpus_per_node:
+        raise ValueError(
+            f"num_gpus must be in [1, {node.gpus_per_node}], got {gpus}"
+        )
+    part = partition_batch(iterations.size, gpus, scheme="block")
+
+    times = np.zeros(gpus)
+    used = 0
+    for g in range(gpus):
+        idx = part.indices_of(g)
+        if idx.size == 0:
+            continue
+        used += 1
+        times[g] = estimate_iterative_solve(
+            node.gpu, fmt, num_rows, nnz, iterations[idx],
+            stored_nnz=stored_nnz,
+        ).total_time_s
+    total = float(times.max()) + node.sync_overhead_us * 1e-6
+
+    single = estimate_iterative_solve(
+        node.gpu, fmt, num_rows, nnz, iterations, stored_nnz=stored_nnz
+    ).total_time_s
+    efficiency = single / (used * total) if used else 0.0
+    return NodeSolveEstimate(
+        total_time_s=total,
+        per_gpu_times_s=times,
+        num_gpus_used=used,
+        parallel_efficiency=float(min(efficiency, 1.0)),
+    )
+
+
+def gpu_scaling_study(
+    node: GpuNode,
+    fmt: str,
+    num_rows: int,
+    nnz: int,
+    iterations: np.ndarray,
+    *,
+    stored_nnz: int | None = None,
+) -> list[NodeSolveEstimate]:
+    """Node solve estimates for 1..gpus_per_node devices (scaling curve)."""
+    return [
+        estimate_node_solve(
+            node, fmt, num_rows, nnz, iterations,
+            stored_nnz=stored_nnz, num_gpus=g,
+        )
+        for g in range(1, node.gpus_per_node + 1)
+    ]

@@ -1,0 +1,117 @@
+"""Shared machinery of the experiment generators.
+
+Each module in :mod:`repro.experiments` regenerates one artefact of the
+paper (a figure's data series or a table's rows) and returns an
+:class:`ExperimentResult`: structured data for programmatic use plus a
+rendered text block for humans.  The benchmark suite wraps these
+generators with pytest-benchmark timing and shape assertions;
+``python -m repro reproduce`` writes them all to disk.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import lru_cache
+
+import numpy as np
+
+from ..core import AbsoluteResidual, BatchBicgstab, BatchLogger
+from ..xgc import CollisionProxyApp, PicardOptions, PicardStepper, ProxyAppConfig
+
+__all__ = [
+    "ExperimentResult",
+    "BATCH_SIZES",
+    "N_ROWS",
+    "KL",
+    "KU",
+    "STORED_ELL",
+    "paper_app",
+    "measured_zero_guess",
+    "measured_picard",
+    "tile_iterations",
+]
+
+#: Batch sizes swept by the figure generators (the paper's x-axes).
+BATCH_SIZES = (120, 240, 480, 960, 1920, 3840)
+
+#: Problem constants at paper scale.
+N_ROWS = 992
+KL = KU = 33
+STORED_ELL = 9 * N_ROWS
+
+
+@dataclass
+class ExperimentResult:
+    """One regenerated paper artefact.
+
+    Attributes
+    ----------
+    name:
+        Artefact identifier (``"fig6"``, ``"table3"``, ...).
+    description:
+        One-line description of what the artefact shows.
+    data:
+        Structured payload (dict of arrays/records; schema per artefact).
+    text:
+        Rendered, human-readable block (what lands in results files).
+    """
+
+    name: str
+    description: str
+    data: dict = field(default_factory=dict)
+    text: str = ""
+
+    def write(self, directory) -> str:
+        """Write the rendered text to ``directory/<name>.txt``; returns path."""
+        import pathlib
+
+        out = pathlib.Path(directory)
+        out.mkdir(parents=True, exist_ok=True)
+        path = out / f"{self.name}.txt"
+        path.write_text(self.text + "\n")
+        return str(path)
+
+
+@lru_cache(maxsize=4)
+def paper_app(num_mesh_nodes: int = 8) -> CollisionProxyApp:
+    """The paper-scale proxy app (cached — the stencil build is shared)."""
+    return CollisionProxyApp(ProxyAppConfig(num_mesh_nodes=num_mesh_nodes))
+
+
+@lru_cache(maxsize=4)
+def measured_zero_guess(num_mesh_nodes: int = 8):
+    """One real zero-guess batched solve; returns (app, SolveResult)."""
+    app = paper_app(num_mesh_nodes)
+    matrix, f = app.build_matrices()
+    solver = BatchBicgstab(
+        preconditioner="jacobi",
+        criterion=AbsoluteResidual(1e-10),
+        max_iter=500,
+        logger=BatchLogger(),
+    )
+    return app, solver.solve(matrix, f)
+
+
+@lru_cache(maxsize=4)
+def measured_picard(num_mesh_nodes: int = 8, warm_start: bool = True):
+    """One real Picard step; returns (app, PicardStepResult)."""
+    app = paper_app(num_mesh_nodes)
+    if warm_start:
+        stepper = app.stepper
+    else:
+        stepper = PicardStepper(
+            app.config.grid,
+            app.masses,
+            nu_ref=app.config.nu_ref,
+            eta=app.config.eta,
+            kurtosis_gamma=app.config.kurtosis_gamma,
+            options=PicardOptions(warm_start=False),
+            stencil=app.stencil,
+        )
+    f0 = app.initial_state()
+    return app, stepper.step(f0, app.config.dt)
+
+
+def tile_iterations(iterations: np.ndarray, nb: int) -> np.ndarray:
+    """Repeat a measured iteration-count vector out to batch size ``nb``."""
+    return np.tile(iterations, nb // iterations.size + 1)[:nb]

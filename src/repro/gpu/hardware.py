@@ -1,0 +1,221 @@
+"""Hardware catalog — Table I of the paper, plus microarchitectural knobs.
+
+The performance model is parameterised entirely from this module.  The
+headline numbers (peak FP64, memory bandwidth, cache sizes, compute-unit
+counts, warp widths) are the paper's Table I values taken from the vendor
+white papers.  The remaining fields are microarchitectural constants the
+model needs (launch overhead, scheduling policy, achievable-fraction
+efficiencies); they are *calibration* parameters, documented here and in
+EXPERIMENTS.md, and deliberately few in number:
+
+* ``fp64_efficiency`` — fraction of peak FP64 a latency-bound batched
+  kernel sustains (small systems never reach peak);
+* ``qr_parallel_efficiency`` — the additional penalty of the batched
+  direct QR kernel (long sequential dependency chains over the band,
+  warp-serial rotations), responsible for the 10-30x gap of Fig. 6;
+* ``dgbsv_efficiency`` on the CPU — achieved fraction of per-core peak for
+  LAPACK ``dgbsv`` on n~1000 banded systems.
+
+Everything else in the model (staircase scheduling, warp utilisation,
+format traffic, shared-memory placement) is derived, not fitted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["GpuSpec", "CpuSpec", "V100", "A100", "MI100", "SKYLAKE_NODE", "GPUS"]
+
+KIB = 1024
+MIB = 1024 * 1024
+
+
+@dataclass(frozen=True)
+class GpuSpec:
+    """One GPU model as the performance model sees it.
+
+    Table I fields
+    --------------
+    peak_fp64_tflops, mem_bw_gbs, l1_shared_per_cu_kib, l2_mib, num_cus.
+
+    Microarchitecture fields
+    ------------------------
+    warp_size:
+        SIMT width (32 NVIDIA, 64 AMD wavefronts).
+    max_shared_per_block_kib:
+        Upper limit of dynamic shared memory one thread block may request.
+    scheduling:
+        ``"flexible"`` (NVIDIA: blocks dispatched to SMs as they drain —
+        smooth batch-size scaling) or ``"wave"`` (MI100: the paper observes
+        discrete jumps at multiples of 120 CUs).
+    launch_overhead_us:
+        Host-side cost of one kernel launch.
+    fp64_efficiency:
+        Achievable fraction of peak FP64 in the fused batched kernels.
+    qr_parallel_efficiency:
+        Further multiplier on compute throughput for the batched direct QR.
+    l2_bw_multiplier:
+        L2 bandwidth relative to (achieved) HBM bandwidth.
+    bw_efficiency:
+        Achieved fraction of peak memory bandwidth for the batched
+        kernels' access patterns (gathers + short streams; CDNA achieves a
+        markedly lower fraction than Volta/Ampere on such patterns).
+    target_blocks_per_cu:
+        Residency the §IV-D planner aims for when sizing shared memory.
+    """
+
+    name: str
+    peak_fp64_tflops: float
+    mem_bw_gbs: float
+    l1_shared_per_cu_kib: int
+    l2_mib: float
+    num_cus: int
+    warp_size: int
+    max_shared_per_block_kib: int
+    scheduling: str
+    launch_overhead_us: float = 10.0
+    fp64_efficiency: float = 0.5
+    qr_parallel_efficiency: float = 0.02
+    l2_bw_multiplier: float = 3.0
+    bw_efficiency: float = 0.8
+    target_blocks_per_cu: int = 2
+
+    def __post_init__(self) -> None:
+        if self.scheduling not in ("flexible", "wave"):
+            raise ValueError(
+                f"scheduling must be 'flexible' or 'wave', got {self.scheduling!r}"
+            )
+
+    # -- derived quantities --------------------------------------------------
+
+    @property
+    def peak_fp64_per_cu(self) -> float:
+        """Peak FP64 flop/s available to one compute unit."""
+        return self.peak_fp64_tflops * 1e12 / self.num_cus
+
+    @property
+    def mem_bw_per_cu(self) -> float:
+        """Fair-share HBM bandwidth (bytes/s) per compute unit."""
+        return self.mem_bw_gbs * 1e9 / self.num_cus
+
+    @property
+    def l1_shared_per_cu_bytes(self) -> int:
+        """Unified L1 + shared capacity per CU in bytes."""
+        return self.l1_shared_per_cu_kib * KIB
+
+    @property
+    def l2_bytes(self) -> int:
+        """L2 capacity in bytes."""
+        return int(self.l2_mib * MIB)
+
+    def shared_budget_per_block(self, target_blocks_per_cu: int | None = None) -> int:
+        """Dynamic shared memory budget per thread block (§IV-D policy).
+
+        The planner divides the configurable shared memory among
+        ``target_blocks_per_cu`` resident blocks.  NVIDIA GPUs target two
+        blocks per SM for latency hiding — on the V100 (96 KiB
+        configurable) this yields 48 KiB per block and therefore 6 of
+        BiCGStab's 9 vectors in shared memory, the paper's reported
+        outcome.  The MI100 targets one block per CU (the paper's observed
+        dispatch granularity: makespan jumps at multiples of 120 = one
+        block per CU), so a block may claim the whole 64 KiB LDS.
+        """
+        target = self.target_blocks_per_cu if target_blocks_per_cu is None else target_blocks_per_cu
+        if target < 1:
+            raise ValueError("target_blocks_per_cu must be >= 1")
+        return self.max_shared_per_block_kib * KIB // target
+
+
+@dataclass(frozen=True)
+class CpuSpec:
+    """A CPU node running the Kokkos-parallelised ``dgbsv`` baseline.
+
+    The paper's baseline is one dual-socket Intel Xeon Gold 6148 node:
+    Kokkos runs each banded solve as a work item on one core, using 38 of
+    the 40 cores.
+    """
+
+    name: str
+    num_sockets: int
+    cores_per_socket: int
+    peak_fp64_tflops_per_socket: float
+    mem_bw_gbs_per_socket: float
+    cores_used: int
+    dgbsv_efficiency: float = 0.12
+
+    @property
+    def total_cores(self) -> int:
+        """All physical cores on the node."""
+        return self.num_sockets * self.cores_per_socket
+
+    @property
+    def peak_fp64_per_core(self) -> float:
+        """Peak FP64 flop/s of one core."""
+        return (
+            self.peak_fp64_tflops_per_socket * 1e12 / self.cores_per_socket
+        )
+
+    @property
+    def effective_flops_per_core(self) -> float:
+        """Sustained ``dgbsv`` flop rate per core."""
+        return self.peak_fp64_per_core * self.dgbsv_efficiency
+
+
+#: NVIDIA V100-16GB (Volta): 96 KiB configurable shared of the 128 KiB
+#: unified L1/shared.
+V100 = GpuSpec(
+    name="V100",
+    peak_fp64_tflops=7.8,
+    mem_bw_gbs=990.0,
+    l1_shared_per_cu_kib=128,
+    l2_mib=6.0,
+    num_cus=80,
+    warp_size=32,
+    max_shared_per_block_kib=96,
+    scheduling="flexible",
+    bw_efficiency=0.80,
+)
+
+#: NVIDIA A100-40GB (Ampere): 164 KiB max shared per block of 192 KiB.
+A100 = GpuSpec(
+    name="A100",
+    peak_fp64_tflops=9.7,
+    mem_bw_gbs=1555.0,
+    l1_shared_per_cu_kib=192,
+    l2_mib=40.0,
+    num_cus=108,
+    warp_size=32,
+    max_shared_per_block_kib=164,
+    scheduling="flexible",
+    bw_efficiency=0.85,
+    l2_bw_multiplier=1.5,
+)
+
+#: AMD MI100-32GB (CDNA): 64 KiB LDS + 16 KiB L1 per CU, 64-wide
+#: wavefronts, wave-style dispatch (paper: jumps at multiples of 120).
+MI100 = GpuSpec(
+    name="MI100",
+    peak_fp64_tflops=11.5,
+    mem_bw_gbs=1230.0,
+    l1_shared_per_cu_kib=80,  # 64 LDS + 16 L1
+    l2_mib=8.0,
+    num_cus=120,
+    warp_size=64,
+    max_shared_per_block_kib=64,
+    scheduling="wave",
+    bw_efficiency=0.45,
+    target_blocks_per_cu=1,  # dispatch granularity observed in Fig. 6
+)
+
+#: Dual-socket Intel Xeon Gold 6148 (Skylake) node, 38 of 40 cores used.
+SKYLAKE_NODE = CpuSpec(
+    name="Skylake",
+    num_sockets=2,
+    cores_per_socket=20,
+    peak_fp64_tflops_per_socket=1.0,
+    mem_bw_gbs_per_socket=128.0,
+    cores_used=38,
+)
+
+#: All GPUs of the evaluation, in the paper's plotting order.
+GPUS = (V100, A100, MI100)

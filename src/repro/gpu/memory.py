@@ -1,0 +1,159 @@
+"""Memory-hierarchy model: cache-hit estimation and effective access time.
+
+Section IV-C's design keeps read-only data (matrix values, indices, RHS)
+cached in L1 and the read-write solver vectors in shared memory.  This
+module estimates how well that works out for a given problem/hardware pair.
+
+Modelling choices (each maps to a physical mechanism):
+
+* **L1** — capacity left after the shared-memory allocation, shared by the
+  resident blocks.  A block's *unique* read-only working set (matrix
+  values, its share of the common index data, the RHS) that fits stays
+  resident across the fused kernel's iterations, so re-reads hit.
+* **L2** — device-wide, but the competing working set is only that of the
+  **concurrently resident** systems (``active_systems``), not the whole
+  batch: a block's data is dead once it retires.  The shared sparsity
+  metadata is a single copy for the whole device — the batched formats'
+  storage sharing is precisely what makes it L2-resident.
+* **HBM** — whatever misses both.
+
+Returned hit rates feed Table II; the byte split feeds the roofline in
+:mod:`repro.gpu.timing`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .hardware import GpuSpec
+from .kernel import KernelWork
+
+__all__ = ["MemoryEstimate", "estimate_memory"]
+
+
+@dataclass(frozen=True)
+class MemoryEstimate:
+    """Traffic split across the hierarchy, per system per kernel phase.
+
+    Attributes
+    ----------
+    l1_hit_rate:
+        Fraction of global-memory accesses served by L1.
+    l2_hit_rate:
+        Fraction of L1 misses served by L2.
+    hbm_bytes:
+        Bytes per system *per pass* (per iteration) that reach HBM.
+    l2_bytes:
+        Bytes per system per pass served by L2.
+    total_bytes:
+        All global traffic per system per pass (shared memory excluded).
+    """
+
+    l1_hit_rate: float
+    l2_hit_rate: float
+    hbm_bytes: float
+    l2_bytes: float
+    total_bytes: float
+
+    def memory_time(self, hw: GpuSpec) -> float:
+        """Seconds one CU spends on this traffic (fair-share achieved BW)."""
+        bw = hw.mem_bw_per_cu * hw.bw_efficiency
+        t_hbm = self.hbm_bytes / bw
+        t_l2 = self.l2_bytes / (bw * hw.l2_bw_multiplier)
+        return t_hbm + t_l2
+
+
+def estimate_memory(
+    hw: GpuSpec,
+    work: KernelWork,
+    *,
+    shared_bytes_per_block: int,
+    blocks_per_cu: int,
+    active_systems: int,
+    reuse_passes: float = 1.0,
+    unique_matrix_bytes: float | None = None,
+    unique_index_bytes: float | None = None,
+    unique_rhs_bytes: float | None = None,
+) -> MemoryEstimate:
+    """Estimate the hierarchy split of one system's kernel traffic.
+
+    Parameters
+    ----------
+    hw:
+        Target GPU.
+    work:
+        Per-iteration (or per-kernel) traffic by stream for one system.
+    shared_bytes_per_block:
+        Dynamic shared memory each block holds (reduces L1 capacity).
+    blocks_per_cu:
+        Resident blocks competing for the same L1.
+    active_systems:
+        Systems concurrently resident on the device (caps L2 pressure).
+    reuse_passes:
+        Times the traffic in ``work`` repeats during the block's lifetime
+        (the iteration count for iterative solves): only repetition can
+        produce L1 hits.
+    unique_matrix_bytes, unique_index_bytes, unique_rhs_bytes:
+        Distinct bytes behind each stream (a BiCGSTAB iteration reads the
+        matrix twice, so traffic is 2x the unique set).  Default: the
+        per-pass traffic itself.
+    """
+    if reuse_passes < 1.0:
+        raise ValueError("reuse_passes must be >= 1")
+    if active_systems < 1:
+        raise ValueError("active_systems must be >= 1")
+
+    uniq_mat = work.matrix_bytes if unique_matrix_bytes is None else unique_matrix_bytes
+    uniq_idx = work.index_bytes if unique_index_bytes is None else unique_index_bytes
+    uniq_rhs = work.rhs_bytes if unique_rhs_bytes is None else unique_rhs_bytes
+
+    # --- L1 -----------------------------------------------------------------
+    l1_capacity = max(
+        hw.l1_shared_per_cu_bytes - shared_bytes_per_block * blocks_per_cu, 0
+    )
+    unique_ws = uniq_mat + uniq_idx + uniq_rhs
+    resident_fraction = (
+        min(1.0, l1_capacity / (blocks_per_cu * unique_ws)) if unique_ws > 0 else 0.0
+    )
+    cacheable_traffic = (
+        (work.matrix_bytes + work.index_bytes + work.rhs_bytes) * reuse_passes
+    )
+    # With full residency the only misses are the compulsory first touches.
+    ideal_hit = 1.0 - unique_ws / cacheable_traffic if cacheable_traffic > 0 else 0.0
+    l1_hit_cacheable = resident_fraction * max(ideal_hit, 0.0)
+
+    streaming_traffic = work.vector_bytes * reuse_passes  # spilled vectors
+    total = cacheable_traffic + streaming_traffic
+    l1_hit_overall = (
+        cacheable_traffic * l1_hit_cacheable / total if total > 0 else 0.0
+    )
+
+    # --- L2 -----------------------------------------------------------------
+    l1_misses = total * (1.0 - l1_hit_overall)
+    # Stream-wise L1 misses (vectors never hit L1; cacheable streams share
+    # the blended rate).
+    miss_idx = work.index_bytes * reuse_passes * (1.0 - l1_hit_cacheable)
+    miss_vec = streaming_traffic
+    miss_val = l1_misses - miss_idx - miss_vec
+
+    # Device-resident working set competing for L2: per-system values, RHS
+    # and spilled vectors of the active systems, plus ONE copy of the
+    # shared index data.
+    spilled_unique = work.vector_bytes / 6.0 if work.vector_bytes else 0.0
+    device_set = (uniq_mat + uniq_rhs + spilled_unique) * active_systems + uniq_idx
+    l2_fraction = min(1.0, hw.l2_bytes / device_set) if device_set > 0 else 0.0
+
+    idx_hit = 1.0 if uniq_idx <= hw.l2_bytes else 0.5
+    l2_hits = miss_idx * idx_hit + (miss_val + miss_vec) * l2_fraction
+    l2_hit_rate = l2_hits / l1_misses if l1_misses > 0 else 0.0
+
+    hbm_bytes = max(l1_misses - l2_hits, 0.0)
+    # Normalise the byte quantities to one pass so callers can charge them
+    # per iteration; the hit rates are lifetime averages either way.
+    return MemoryEstimate(
+        l1_hit_rate=float(min(max(l1_hit_overall, 0.0), 1.0)),
+        l2_hit_rate=float(min(max(l2_hit_rate, 0.0), 1.0)),
+        hbm_bytes=float(hbm_bytes / reuse_passes),
+        l2_bytes=float(l2_hits / reuse_passes),
+        total_bytes=float(total / reuse_passes),
+    )

@@ -1,0 +1,79 @@
+"""Profiler-metric collection — the Table II reproduction.
+
+Nsight Compute / rocprof report, for the whole fused solve kernel, the
+warp/wavefront utilisation and the L1/L2 hit rates.  This module pulls the
+same three metrics out of the performance model for a given
+(GPU, format, problem) combination and formats them as the paper's table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .hardware import GpuSpec
+from .timing import estimate_iterative_solve
+
+__all__ = ["KernelMetrics", "collect_metrics", "metrics_table"]
+
+
+@dataclass(frozen=True)
+class KernelMetrics:
+    """Table II row: one platform/format combination.
+
+    Attributes
+    ----------
+    platform, fmt:
+        Row identity.
+    warp_utilization:
+        Whole-kernel lane utilisation, percent.
+    l1_hit_rate:
+        Percent of global accesses served by L1 (None where the tool
+        does not report it — the paper's MI100 rows).
+    l2_hit_rate:
+        Percent of L1 misses served by L2.
+    """
+
+    platform: str
+    fmt: str
+    warp_utilization: float
+    l1_hit_rate: float | None
+    l2_hit_rate: float
+
+
+def collect_metrics(
+    hw: GpuSpec,
+    fmt: str,
+    num_rows: int,
+    nnz: int,
+    iterations: np.ndarray,
+    *,
+    stored_nnz: int | None = None,
+    report_l1: bool = True,
+) -> KernelMetrics:
+    """Run the model and extract the Table II metrics."""
+    est = estimate_iterative_solve(
+        hw, fmt, num_rows, nnz, iterations, stored_nnz=stored_nnz
+    )
+    return KernelMetrics(
+        platform=hw.name,
+        fmt=fmt.upper(),
+        warp_utilization=100.0 * est.warp_utilization,
+        l1_hit_rate=100.0 * est.memory.l1_hit_rate if report_l1 else None,
+        l2_hit_rate=100.0 * est.memory.l2_hit_rate,
+    )
+
+
+def metrics_table(rows: list[KernelMetrics]) -> str:
+    """Format metrics as the paper's Table II layout."""
+    lines = [
+        f"{'Processor, format':<18} {'warp use %':>11} {'L1 hit %':>9} {'L2 hit %':>9}"
+    ]
+    for m in rows:
+        l1 = f"{m.l1_hit_rate:9.1f}" if m.l1_hit_rate is not None else f"{'-':>9}"
+        lines.append(
+            f"{m.platform + ', ' + m.fmt:<18} {m.warp_utilization:11.1f} "
+            f"{l1} {m.l2_hit_rate:9.1f}"
+        )
+    return "\n".join(lines)

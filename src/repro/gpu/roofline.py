@@ -1,0 +1,152 @@
+"""Roofline analysis of the batched kernels.
+
+Section IV's design discussion is a roofline argument in prose: the
+batched solves are small, the data should live close to the compute units,
+and the SpMV is memory-bound.  This module makes the argument
+quantitative: given a kernel's operation counts and its modelled memory
+traffic on a GPU, it reports the arithmetic intensity, the machine
+balance, which side of the ridge the kernel sits on, and the attainable
+performance — the numbers behind statements like "the work done to solve
+the system using an exact factorization does not pay off".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+from .hardware import GpuSpec
+from .kernel import (
+    KernelWork,
+    banded_qr_work,
+    bicgstab_iteration_work,
+    dense_lu_work,
+    spmv_work,
+    storage_for_solver,
+)
+from .memory import estimate_memory
+from .occupancy import compute_occupancy
+
+__all__ = ["RooflinePoint", "analyze_kernel", "solver_roofline_report"]
+
+
+@dataclass(frozen=True)
+class RooflinePoint:
+    """One kernel's position on a GPU's roofline.
+
+    Attributes
+    ----------
+    name:
+        Kernel label.
+    intensity:
+        Arithmetic intensity in flop/byte (bytes counted at the level the
+        traffic actually reaches, HBM + L2 weighted by their bandwidths).
+    machine_balance:
+        The GPU's ridge point in flop/byte (peak FP64 / achieved HBM BW).
+    bound:
+        ``"memory"`` or ``"compute"``.
+    attainable_gflops:
+        min(peak, intensity * bandwidth), in Gflop/s.
+    peak_fraction:
+        Attainable performance as a fraction of peak FP64.
+    """
+
+    name: str
+    intensity: float
+    machine_balance: float
+    bound: str
+    attainable_gflops: float
+    peak_fraction: float
+
+
+def analyze_kernel(
+    hw: GpuSpec,
+    name: str,
+    work: KernelWork,
+    *,
+    effective_bytes: float | None = None,
+) -> RooflinePoint:
+    """Place one kernel on ``hw``'s roofline.
+
+    ``effective_bytes`` overrides the byte count (e.g. post-cache HBM
+    traffic from the memory model); defaults to the kernel's raw traffic.
+    """
+    bw = hw.mem_bw_gbs * 1e9 * hw.bw_efficiency
+    peak = hw.peak_fp64_tflops * 1e12
+    data = work.total_bytes if effective_bytes is None else effective_bytes
+    intensity = work.flops / max(data, 1.0)
+    balance = peak / bw
+    attainable = min(peak, intensity * bw)
+    return RooflinePoint(
+        name=name,
+        intensity=float(intensity),
+        machine_balance=float(balance),
+        bound="compute" if intensity >= balance else "memory",
+        attainable_gflops=float(attainable / 1e9),
+        peak_fraction=float(attainable / peak),
+    )
+
+
+def solver_roofline_report(
+    hw: GpuSpec,
+    num_rows: int,
+    nnz: int,
+    *,
+    stored_nnz: int | None = None,
+    mean_iterations: float = 20.0,
+    kl: int | None = None,
+    ku: int | None = None,
+) -> list[RooflinePoint]:
+    """Roofline points for the kernels of the paper's comparison.
+
+    Covers the batched SpMV (both formats), one BiCGSTAB iteration (with
+    the §IV-D placement and cache model applied, so the intensity reflects
+    *post-cache* traffic), the banded QR, and the dense LU.
+    """
+    points = []
+    for fmt, stored in (("csr", None), ("ell", stored_nnz)):
+        w = spmv_work(num_rows, nnz, fmt, stored_nnz=stored)
+        points.append(analyze_kernel(hw, f"spmv-{fmt}", w))
+
+    storage = storage_for_solver("bicgstab", num_rows, hw.shared_budget_per_block())
+    occ = compute_occupancy(hw, max(storage.shared_bytes_used, 1), num_rows)
+    iter_work = bicgstab_iteration_work(
+        num_rows, nnz, "ell", storage, stored_nnz=stored_nnz
+    )
+    stored = nnz if stored_nnz is None else stored_nnz
+    mem = estimate_memory(
+        hw, iter_work,
+        shared_bytes_per_block=storage.shared_bytes_used,
+        blocks_per_cu=occ.blocks_per_cu,
+        active_systems=occ.total_slots,
+        reuse_passes=max(mean_iterations, 1.0),
+        unique_matrix_bytes=stored * 8,
+        unique_index_bytes=stored * 4,
+        unique_rhs_bytes=num_rows * 8,
+    )
+    effective = mem.hbm_bytes + mem.l2_bytes / hw.l2_bw_multiplier
+    points.append(
+        analyze_kernel(
+            hw, "bicgstab-iter (post-cache)", iter_work,
+            effective_bytes=max(effective, 1.0),
+        )
+    )
+
+    if kl is not None and ku is not None:
+        points.append(analyze_kernel(hw, "banded-qr", banded_qr_work(num_rows, kl, ku)))
+    points.append(analyze_kernel(hw, "dense-lu", dense_lu_work(num_rows)))
+    return points
+
+
+def format_roofline(points: list[RooflinePoint]) -> str:
+    """Render roofline points as an aligned text table."""
+    lines = [
+        f"{'kernel':<26} {'flop/byte':>10} {'bound':>8} "
+        f"{'attainable GF/s':>16} {'% of peak':>10}"
+    ]
+    for p in points:
+        lines.append(
+            f"{p.name:<26} {p.intensity:10.3f} {p.bound:>8} "
+            f"{p.attainable_gflops:16.1f} {100 * p.peak_fraction:10.1f}"
+        )
+    return "\n".join(lines)

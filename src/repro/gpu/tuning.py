@@ -1,0 +1,229 @@
+"""Automatic solver configuration — the paper's contribution #3.
+
+"We tune the batched BiCGSTAB solver for the matrices from the XGC and
+also provide an automatic tuning strategy depending on the size of the
+matrix."  This module is that strategy: given the problem dimensions and
+the target GPU, it decides
+
+* the **matrix format** — ELL when the rows are (near-)uniform so padding
+  is cheap and the thread-per-row kernel applies; CSR otherwise
+  (Section IV-A/IV-E);
+* the **thread-block size** — proportional to the system size ("each
+  thread block contains a number of threads proportional to the size of an
+  individual linear system"), rounded to warp granularity, capped by the
+  hardware thread limit, with multiple rows per thread when a system
+  exceeds the cap;
+* the **shared-memory request** — the §IV-D placement for the chosen
+  residency target, degraded gracefully when the vectors outgrow the
+  budget;
+* whether the **fused single-kernel** path applies — for small systems
+  where launch overhead and inter-kernel traffic dominate; large systems
+  fall back to component kernels ("these considerations are not important
+  for larger problem sizes").
+
+Every decision carries its rationale so an application developer can audit
+what the heuristic did — the flexibility/transparency balance the Ginkgo
+design aims for.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from ..core.workspace import StorageConfig, plan_storage, solver_vector_specs
+from ..utils.validation import check_positive
+from .hardware import GpuSpec
+from .occupancy import Occupancy, compute_occupancy
+
+__all__ = ["TuningDecision", "tune_batched_solver", "tune_for_matrix"]
+
+#: Hardware thread cap per block (uniform across the modelled GPUs).
+MAX_THREADS_PER_BLOCK = 1024
+
+#: Padding overhead above which ELL stops paying for itself.
+ELL_PADDING_LIMIT = 0.5
+
+#: Systems below this row count are "small": the fused one-kernel design
+#: (all iterations inside one launch) is the right call.
+FUSED_ROW_LIMIT = 8192
+
+
+@dataclass(frozen=True)
+class TuningDecision:
+    """Outcome of the automatic configuration.
+
+    Attributes
+    ----------
+    fmt:
+        Chosen matrix format (``"ell"`` or ``"csr"``).
+    threads_per_block:
+        Block size (warp multiple).
+    rows_per_thread:
+        How many rows each thread sweeps (1 unless the system is larger
+        than the thread cap).
+    storage:
+        Shared-memory placement for the solver's vectors.
+    occupancy:
+        Residency the request achieves on the target GPU.
+    fused_kernel:
+        Whether the single-kernel (whole solve in one launch) path is
+        selected.
+    rationale:
+        Human-readable reasons, keyed by decision.
+    """
+
+    fmt: str
+    threads_per_block: int
+    rows_per_thread: int
+    storage: StorageConfig
+    occupancy: Occupancy
+    fused_kernel: bool
+    rationale: dict = field(default_factory=dict)
+
+
+def _choose_format(
+    nnz_row_min: int,
+    nnz_row_max: int,
+    warp_size: int,
+    padding_fraction: float,
+) -> tuple[str, str]:
+    """ELL when the padding it buys is cheap, CSR otherwise.
+
+    ``padding_fraction`` is the fraction of stored ELL entries that would
+    be padding: the exact value when the caller knows the row-length
+    distribution, the worst-case ``1 - min/max`` bound otherwise.
+    """
+    if padding_fraction <= ELL_PADDING_LIMIT:
+        return "ell", (
+            f"rows are near-uniform ({nnz_row_min}-{nnz_row_max} nnz, "
+            f"{100 * padding_fraction:.0f}% padding): thread-per-row ELL "
+            "kernel fills warps and reads coalesced"
+        )
+    if nnz_row_max >= warp_size // 2:
+        return "csr", (
+            f"irregular rows ({nnz_row_min}-{nnz_row_max} nnz) with long "
+            "rows: warp-per-row CSR amortises the reduction"
+        )
+    return "csr", (
+        f"irregular rows ({nnz_row_min}-{nnz_row_max} nnz): ELL padding "
+        f"{100 * padding_fraction:.0f}% exceeds the "
+        f"{100 * ELL_PADDING_LIMIT:.0f}% limit"
+    )
+
+
+def tune_batched_solver(
+    hw: GpuSpec,
+    num_rows: int,
+    nnz_row_min: int,
+    nnz_row_max: int,
+    *,
+    solver: str = "bicgstab",
+    value_bytes: int = 8,
+    padding_fraction: float | None = None,
+) -> TuningDecision:
+    """Derive the full kernel configuration for a batched solve.
+
+    Parameters
+    ----------
+    hw:
+        Target GPU.
+    num_rows:
+        Rows of each system in the batch.
+    nnz_row_min, nnz_row_max:
+        Row-length range of the shared sparsity pattern.
+    solver:
+        Solver whose auxiliary vectors the shared-memory plan covers.
+    padding_fraction:
+        Exact ELL padding fraction when the row-length distribution is
+        known (``tune_for_matrix`` supplies it); defaults to the
+        worst-case ``1 - min/max`` bound.
+    """
+    check_positive(num_rows, "num_rows")
+    check_positive(nnz_row_min, "nnz_row_min")
+    if nnz_row_max < nnz_row_min:
+        raise ValueError("nnz_row_max must be >= nnz_row_min")
+    if padding_fraction is None:
+        padding_fraction = 1.0 - nnz_row_min / nnz_row_max
+    if not 0.0 <= padding_fraction < 1.0:
+        raise ValueError("padding_fraction must be in [0, 1)")
+
+    rationale: dict[str, str] = {}
+    fmt, why = _choose_format(
+        nnz_row_min, nnz_row_max, hw.warp_size, padding_fraction
+    )
+    rationale["format"] = why
+
+    # Threads proportional to the system size, warp-granular, capped.
+    rows_per_thread = max(1, math.ceil(num_rows / MAX_THREADS_PER_BLOCK))
+    lanes = math.ceil(num_rows / rows_per_thread)
+    threads = min(
+        math.ceil(lanes / hw.warp_size) * hw.warp_size, MAX_THREADS_PER_BLOCK
+    )
+    rationale["threads"] = (
+        f"{threads} threads ({threads // hw.warp_size} warps) for "
+        f"{num_rows} rows, {rows_per_thread} row(s) per thread"
+    )
+
+    # Shared memory: the §IV-D placement under the residency budget; if
+    # even the SpMV vectors don't fit, fall back to a single vector and
+    # finally to none (the kernel then streams through global memory).
+    budget = hw.shared_budget_per_block()
+    storage = plan_storage(
+        solver_vector_specs(solver), num_rows, budget, value_bytes=value_bytes
+    )
+    if storage.num_shared == 0 and budget > 0:
+        rationale["shared"] = (
+            f"vectors of {num_rows * value_bytes} B exceed the "
+            f"{budget} B budget: all vectors spill to global memory"
+        )
+    else:
+        rationale["shared"] = (
+            f"{storage.num_shared}/{storage.num_vectors} vectors in "
+            f"{storage.shared_bytes_used} B of shared memory "
+            f"(budget {budget} B, SpMV vectors first)"
+        )
+
+    occ = compute_occupancy(hw, storage.shared_bytes_used, threads)
+
+    fused = num_rows <= FUSED_ROW_LIMIT
+    rationale["kernel"] = (
+        "fused single-kernel solve: launch overhead and inter-kernel "
+        "traffic dominate at this size"
+        if fused
+        else "component kernels: the system is large enough that kernel "
+        "launch overhead is negligible and resources are better spent on "
+        "per-operation tuning"
+    )
+
+    return TuningDecision(
+        fmt=fmt,
+        threads_per_block=threads,
+        rows_per_thread=rows_per_thread,
+        storage=storage,
+        occupancy=occ,
+        fused_kernel=fused,
+        rationale=rationale,
+    )
+
+
+def tune_for_matrix(hw: GpuSpec, matrix, *, solver: str = "bicgstab") -> TuningDecision:
+    """Tune directly from a batch matrix (inspects its pattern).
+
+    Knowing the full row-length distribution, the exact ELL padding
+    fraction drives the format choice — the XGC pattern (9 nnz on interior
+    rows, short boundary rows) selects ELL here even though its worst-case
+    min/max bound alone would not.
+    """
+    from ..core.convert import to_format
+
+    csr = to_format(matrix, "csr")
+    nnz_row = csr.nnz_per_row()
+    if nnz_row.size == 0 or nnz_row.max() == 0:
+        raise ValueError("cannot tune for an empty sparsity pattern")
+    lo = max(int(nnz_row.min()), 1)
+    hi = int(nnz_row.max())
+    padding = 1.0 - float(nnz_row.mean()) / hi
+    return tune_batched_solver(
+        hw, csr.num_rows, lo, hi, solver=solver, padding_fraction=padding
+    )

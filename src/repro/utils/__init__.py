@@ -1,0 +1,56 @@
+"""Shared utilities: banded storage, Matrix Market I/O, spectra, validation.
+
+Submodules are loaded lazily (PEP 562): :mod:`repro.core` formats import
+:mod:`repro.utils.validation` while :mod:`repro.utils.banded` imports the
+formats back, so an eager package ``__init__`` would be circular.
+"""
+
+import importlib
+
+__all__ = [
+    "BatchBanded",
+    "Bandwidths",
+    "csr_to_banded",
+    "detect_bandwidths",
+    "SpectrumSummary",
+    "batch_eigenvalues",
+    "condition_number",
+    "summarize_spectrum",
+    "write_matrix_market",
+    "read_matrix_market",
+    "save_batch_folder",
+    "load_batch_folder",
+    "Reordering",
+    "rcm_reordering",
+    "apply_reordering",
+]
+
+_LOCATIONS = {
+    "BatchBanded": "banded",
+    "Bandwidths": "banded",
+    "csr_to_banded": "banded",
+    "detect_bandwidths": "banded",
+    "SpectrumSummary": "eigen",
+    "batch_eigenvalues": "eigen",
+    "condition_number": "eigen",
+    "summarize_spectrum": "eigen",
+    "write_matrix_market": "matrix_market",
+    "read_matrix_market": "matrix_market",
+    "save_batch_folder": "matrix_market",
+    "load_batch_folder": "matrix_market",
+    "Reordering": "reorder",
+    "rcm_reordering": "reorder",
+    "apply_reordering": "reorder",
+}
+
+
+def __getattr__(name: str):
+    try:
+        module = _LOCATIONS[name]
+    except KeyError:
+        raise AttributeError(f"module 'repro.utils' has no attribute {name!r}") from None
+    return getattr(importlib.import_module(f".{module}", __name__), name)
+
+
+def __dir__():
+    return sorted(set(globals()) | set(__all__))

@@ -1,0 +1,141 @@
+"""Minimal Matrix Market I/O for batched matrices.
+
+The paper's reproducibility appendix distributes the XGC matrices as Matrix
+Market files, one folder per matrix class with numbered subfolders per batch
+entry.  This module reads/writes ``coordinate real general`` matrices and
+``array real general`` dense vectors — the subset needed for that layout —
+and provides :func:`load_batch_folder` / :func:`save_batch_folder` to mirror
+the Zenodo archive structure::
+
+    dgb_2/
+      0/A.mtx   0/b.mtx
+      1/A.mtx   1/b.mtx
+      ...
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable
+
+import numpy as np
+
+from ..core.batch_csr import BatchCsr
+from ..core.types import DTYPE
+
+__all__ = [
+    "write_matrix_market",
+    "read_matrix_market",
+    "save_batch_folder",
+    "load_batch_folder",
+]
+
+
+def write_matrix_market(path: str, matrix: np.ndarray, *, tol: float = 0.0) -> None:
+    """Write a dense 2-D array (sparse coordinate) or 1-D vector (array).
+
+    Entries with ``|a_ij| <= tol`` are dropped from coordinate output.
+    """
+    arr = np.asarray(matrix, dtype=DTYPE)
+    with open(path, "w", encoding="ascii") as fh:
+        if arr.ndim == 1:
+            fh.write("%%MatrixMarket matrix array real general\n")
+            fh.write(f"{arr.shape[0]} 1\n")
+            for v in arr:
+                fh.write(f"{float(v)!r}\n")
+        elif arr.ndim == 2:
+            rows, cols = np.nonzero(np.abs(arr) > tol)
+            fh.write("%%MatrixMarket matrix coordinate real general\n")
+            fh.write(f"{arr.shape[0]} {arr.shape[1]} {rows.size}\n")
+            for i, j in zip(rows, cols):
+                fh.write(f"{i + 1} {j + 1} {float(arr[i, j])!r}\n")
+        else:
+            raise ValueError(f"only 1-D/2-D arrays supported, got {arr.ndim}-D")
+
+
+def read_matrix_market(path: str) -> np.ndarray:
+    """Read a Matrix Market file into a dense array.
+
+    Coordinate files come back 2-D; array files come back 2-D as written
+    (an ``n x 1`` vector file yields shape ``(n, 1)``).
+    """
+    with open(path, "r", encoding="ascii") as fh:
+        header = fh.readline().strip().lower()
+        if not header.startswith("%%matrixmarket"):
+            raise ValueError(f"{path}: not a MatrixMarket file")
+        parts = header.split()
+        if len(parts) < 4 or parts[1] != "matrix":
+            raise ValueError(f"{path}: unsupported header {header!r}")
+        layout, field = parts[2], parts[3]
+        if field not in ("real", "integer"):
+            raise ValueError(f"{path}: only real/integer fields supported")
+        symmetry = parts[4] if len(parts) > 4 else "general"
+
+        line = fh.readline()
+        while line.startswith("%"):
+            line = fh.readline()
+
+        if layout == "coordinate":
+            nrows, ncols, nnz = (int(t) for t in line.split())
+            out = np.zeros((nrows, ncols), dtype=DTYPE)
+            for _ in range(nnz):
+                i_s, j_s, v_s = fh.readline().split()
+                i, j = int(i_s) - 1, int(j_s) - 1
+                v = float(v_s)
+                out[i, j] = v
+                if symmetry == "symmetric" and i != j:
+                    out[j, i] = v
+            return out
+        if layout == "array":
+            nrows, ncols = (int(t) for t in line.split())
+            data = np.empty(nrows * ncols, dtype=DTYPE)
+            for idx in range(nrows * ncols):
+                data[idx] = float(fh.readline())
+            # MatrixMarket array layout is column-major.
+            return data.reshape((ncols, nrows)).T
+        raise ValueError(f"{path}: unsupported layout {layout!r}")
+
+
+def save_batch_folder(
+    folder: str, matrix: BatchCsr, rhs: np.ndarray, *, name: str = "A"
+) -> None:
+    """Write a batch in the Zenodo archive layout (one subfolder per entry)."""
+    os.makedirs(folder, exist_ok=True)
+    for k in range(matrix.num_batch):
+        sub = os.path.join(folder, str(k))
+        os.makedirs(sub, exist_ok=True)
+        write_matrix_market(os.path.join(sub, f"{name}.mtx"), matrix.entry_dense(k))
+        write_matrix_market(os.path.join(sub, "b.mtx"), rhs[k])
+
+
+def load_batch_folder(folder: str, *, name: str = "A") -> tuple[BatchCsr, np.ndarray]:
+    """Read a batch from the Zenodo archive layout.
+
+    Subfolders must be named ``0, 1, 2, ...``; every entry must share the
+    matrix dimensions (the union sparsity pattern is used).
+    """
+    subs = sorted(
+        (d for d in os.listdir(folder) if d.isdigit() and
+         os.path.isdir(os.path.join(folder, d))),
+        key=int,
+    )
+    if not subs:
+        raise FileNotFoundError(f"{folder}: no numbered batch subfolders found")
+    mats: list[np.ndarray] = []
+    rhss: list[np.ndarray] = []
+    for d in subs:
+        mats.append(read_matrix_market(os.path.join(folder, d, f"{name}.mtx")))
+        vec = read_matrix_market(os.path.join(folder, d, "b.mtx"))
+        rhss.append(vec.reshape(-1))
+    batch = BatchCsr.from_dense(np.stack(mats, axis=0))
+    return batch, np.stack(rhss, axis=0)
+
+
+def iter_batch_entries(folder: str) -> Iterable[str]:
+    """Yield the numbered entry subfolders of a batch folder, in order."""
+    for d in sorted(
+        (d for d in os.listdir(folder) if d.isdigit()), key=int
+    ):
+        full = os.path.join(folder, d)
+        if os.path.isdir(full):
+            yield full

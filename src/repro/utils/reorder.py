@@ -1,0 +1,123 @@
+"""Bandwidth-reducing reordering for batched patterns (reverse Cuthill-McKee).
+
+The banded baselines (``dgbsv``, the QR solver, Thomas) are only as good
+as the pattern's bandwidth.  The XGC stencil is already optimally ordered
+(lexicographic grid order gives ``kl = ku = nv_par + 1``), but a user
+bringing an arbitrarily-ordered mesh is not so lucky — a symmetric
+permutation computed once on the *shared* pattern and applied to every
+system in the batch can shrink the band dramatically.
+
+The RCM ordering is computed with :mod:`networkx` on the symmetrised
+pattern graph; everything else (permutation application, vectors, results)
+is plain NumPy over the batch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import networkx as nx
+import numpy as np
+
+from ..core.batch_csr import BatchCsr
+from ..core.convert import to_format
+from ..core.types import INDEX_DTYPE
+from .banded import detect_bandwidths
+
+__all__ = ["Reordering", "rcm_reordering", "apply_reordering"]
+
+
+@dataclass(frozen=True)
+class Reordering:
+    """A symmetric permutation shared by a whole batch.
+
+    Attributes
+    ----------
+    perm:
+        ``perm[new_index] = old_index``.
+    inv_perm:
+        ``inv_perm[old_index] = new_index``.
+    bandwidth_before, bandwidth_after:
+        ``max(kl, ku)`` of the shared pattern, before and after.
+    """
+
+    perm: np.ndarray
+    inv_perm: np.ndarray
+    bandwidth_before: int
+    bandwidth_after: int
+
+    @property
+    def improved(self) -> bool:
+        """Whether the ordering actually shrank the band."""
+        return self.bandwidth_after < self.bandwidth_before
+
+    def permute_vector(self, x: np.ndarray) -> np.ndarray:
+        """Reorder batch vectors ``(nb, n)`` into the new numbering."""
+        return np.ascontiguousarray(x[..., self.perm])
+
+    def unpermute_vector(self, x: np.ndarray) -> np.ndarray:
+        """Map batch vectors back to the original numbering."""
+        return np.ascontiguousarray(x[..., self.inv_perm])
+
+
+def rcm_reordering(matrix) -> Reordering:
+    """Compute an RCM ordering of the shared (symmetrised) pattern.
+
+    The permutation is pattern-only: it is computed once and is valid for
+    every system of the batch (they share the pattern by construction).
+    """
+    csr = to_format(matrix, "csr")
+    if csr.num_rows != csr.num_cols:
+        raise ValueError("reordering requires square systems")
+    n = csr.num_rows
+    rows = np.repeat(np.arange(n, dtype=np.int64), csr.nnz_per_row())
+    cols = csr.col_idxs.astype(np.int64)
+
+    graph = nx.Graph()
+    graph.add_nodes_from(range(n))
+    graph.add_edges_from(zip(rows.tolist(), cols.tolist()))
+    perm = np.fromiter(
+        nx.utils.reverse_cuthill_mckee_ordering(graph), dtype=np.int64, count=n
+    )
+    inv_perm = np.empty(n, dtype=np.int64)
+    inv_perm[perm] = np.arange(n)
+
+    before = detect_bandwidths(csr)
+    after_rows = inv_perm[rows]
+    after_cols = inv_perm[cols]
+    diff = after_cols - after_rows
+    bw_after = int(max(np.abs(diff).max(initial=0), 0))
+
+    return Reordering(
+        perm=perm,
+        inv_perm=inv_perm,
+        bandwidth_before=int(max(before.kl, before.ku)),
+        bandwidth_after=bw_after,
+    )
+
+
+def apply_reordering(matrix, reordering: Reordering) -> BatchCsr:
+    """Symmetrically permute every system: ``P A P^T`` on the shared pattern."""
+    csr = to_format(matrix, "csr")
+    n = csr.num_rows
+    if reordering.perm.shape[0] != n:
+        raise ValueError(
+            f"reordering is for n = {reordering.perm.shape[0]}, "
+            f"matrix has n = {n}"
+        )
+    rows = np.repeat(np.arange(n, dtype=np.int64), csr.nnz_per_row())
+    cols = csr.col_idxs.astype(np.int64)
+    new_rows = reordering.inv_perm[rows]
+    new_cols = reordering.inv_perm[cols]
+
+    order = np.lexsort((new_cols, new_rows))
+    row_counts = np.bincount(new_rows, minlength=n)
+    row_ptrs = np.zeros(n + 1, dtype=INDEX_DTYPE)
+    np.cumsum(row_counts, out=row_ptrs[1:])
+    return BatchCsr(
+        csr.num_cols,
+        row_ptrs,
+        new_cols[order].astype(INDEX_DTYPE),
+        np.ascontiguousarray(csr.values[:, order]),
+        check=False,
+    )

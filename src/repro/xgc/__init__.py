@@ -1,0 +1,65 @@
+"""XGC collision-kernel proxy app (the paper's application substrate).
+
+From-scratch reproduction of the workload the batched solvers serve: a
+nonlinear Fokker-Planck collision operator on a 2D velocity grid,
+discretised with a conservative 9-point finite-volume stencil, advanced by
+backward Euler + Picard for an ion/electron plasma, batched over spatial
+mesh nodes.
+"""
+
+from .assembly import CollisionStencil
+from .collision import (
+    CollisionCoefficients,
+    concat_coefficients,
+    linearized_coefficients,
+    linearized_coefficients_masses,
+)
+from .conservation import (
+    ConservationReport,
+    apply_conservation_fix,
+    check_conservation,
+)
+from .coupling import ExchangeResult, apply_interspecies_exchange
+from .grid import VelocityGrid
+from .maxwellian import Moments, maxwellian, moments, relative_entropy
+from .picard import PicardOptions, PicardStepper, PicardStepResult
+from .proxyapp import CollisionProxyApp, ProxyAppConfig, ProxyAppResult
+from .scenarios import CARBON, TRITON, electron_only, multi_ion, single_ion
+from .species import DEUTERON, ELECTRON, SPECIES_BY_NAME, Species
+from .timeline import Segment, TimelineReport, simulate_picard_timeline
+
+__all__ = [
+    "VelocityGrid",
+    "Species",
+    "ELECTRON",
+    "DEUTERON",
+    "SPECIES_BY_NAME",
+    "Moments",
+    "maxwellian",
+    "moments",
+    "relative_entropy",
+    "CollisionCoefficients",
+    "linearized_coefficients",
+    "linearized_coefficients_masses",
+    "concat_coefficients",
+    "CollisionStencil",
+    "ConservationReport",
+    "check_conservation",
+    "apply_conservation_fix",
+    "ExchangeResult",
+    "apply_interspecies_exchange",
+    "PicardOptions",
+    "PicardStepper",
+    "PicardStepResult",
+    "ProxyAppConfig",
+    "CollisionProxyApp",
+    "ProxyAppResult",
+    "TRITON",
+    "CARBON",
+    "single_ion",
+    "multi_ion",
+    "electron_only",
+    "Segment",
+    "TimelineReport",
+    "simulate_picard_timeline",
+]

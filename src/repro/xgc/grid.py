@@ -1,0 +1,129 @@
+"""2D velocity-space grid for the collision operator.
+
+XGC's nonlinear Fokker-Planck-Landau operator acts on a two-dimensional
+guiding-centre velocity grid: parallel velocity ``v_par`` (signed) and
+perpendicular speed ``v_perp`` (non-negative, cylindrical).  The paper's
+matrices have 992 rows, which this reproduction realises as the default
+``32 x 31`` cell-centred grid (``v_par`` fastest-varying, giving the
+nine-point-stencil bandwidth ``kl = ku = nv_par + 1``).
+
+Velocities are normalised to the species thermal speed at the reference
+temperature, so a domain of a few thermal speeds captures the Maxwellian
+bulk.  The cylindrical Jacobian ``J = v_perp`` (the constant ``2*pi`` is
+dropped throughout — it cancels from every normalised moment).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..utils.validation import check_positive
+
+__all__ = ["VelocityGrid"]
+
+
+@dataclass(frozen=True)
+class VelocityGrid:
+    """Cell-centred tensor-product grid in ``(v_par, v_perp)``.
+
+    Parameters
+    ----------
+    nv_par:
+        Cells along the parallel-velocity axis (fastest-varying index).
+    nv_perp:
+        Cells along the perpendicular-speed axis.
+    v_par_max:
+        Half-width of the parallel domain ``[-v_par_max, +v_par_max]``.
+    v_perp_max:
+        Extent of the perpendicular domain ``[0, v_perp_max]``.
+    """
+
+    nv_par: int = 32
+    nv_perp: int = 31
+    v_par_max: float = 5.0
+    v_perp_max: float = 5.0
+
+    # Derived arrays, computed once in __post_init__.
+    _v_par: np.ndarray = field(init=False, repr=False, compare=False, default=None)
+    _v_perp: np.ndarray = field(init=False, repr=False, compare=False, default=None)
+
+    def __post_init__(self) -> None:
+        check_positive(self.nv_par, "nv_par")
+        check_positive(self.nv_perp, "nv_perp")
+        check_positive(self.v_par_max, "v_par_max")
+        check_positive(self.v_perp_max, "v_perp_max")
+        hx, hy = self.h_par, self.h_perp
+        vpar = -self.v_par_max + (np.arange(self.nv_par) + 0.5) * hx
+        vperp = (np.arange(self.nv_perp) + 0.5) * hy
+        object.__setattr__(self, "_v_par", vpar)
+        object.__setattr__(self, "_v_perp", vperp)
+
+    # -- sizes -----------------------------------------------------------
+
+    @property
+    def num_cells(self) -> int:
+        """Total unknowns = matrix dimension (992 for the default grid)."""
+        return self.nv_par * self.nv_perp
+
+    @property
+    def h_par(self) -> float:
+        """Parallel cell width."""
+        return 2.0 * self.v_par_max / self.nv_par
+
+    @property
+    def h_perp(self) -> float:
+        """Perpendicular cell width."""
+        return self.v_perp_max / self.nv_perp
+
+    # -- coordinates --------------------------------------------------------
+
+    @property
+    def v_par(self) -> np.ndarray:
+        """Parallel-velocity cell centres, shape ``(nv_par,)``."""
+        return self._v_par
+
+    @property
+    def v_perp(self) -> np.ndarray:
+        """Perpendicular-speed cell centres, shape ``(nv_perp,)``."""
+        return self._v_perp
+
+    def meshgrid(self) -> tuple[np.ndarray, np.ndarray]:
+        """2-D centre coordinates ``(VPAR, VPERP)``, each ``(nv_perp, nv_par)``.
+
+        Axis 0 is the perpendicular index, axis 1 the parallel index —
+        reshaping a flat solution vector to ``(nv_perp, nv_par)`` aligns
+        with these arrays.
+        """
+        return np.meshgrid(self._v_par, self._v_perp, indexing="xy")
+
+    def cell_index(self, i_par: int, j_perp: int) -> int:
+        """Flattened unknown index of cell ``(i_par, j_perp)``."""
+        if not (0 <= i_par < self.nv_par and 0 <= j_perp < self.nv_perp):
+            raise IndexError(
+                f"cell ({i_par}, {j_perp}) outside grid "
+                f"{self.nv_par} x {self.nv_perp}"
+            )
+        return j_perp * self.nv_par + i_par
+
+    # -- measures ----------------------------------------------------------
+
+    def jacobian(self) -> np.ndarray:
+        """Cylindrical Jacobian ``J = v_perp`` at centres, ``(nv_perp, nv_par)``."""
+        return np.broadcast_to(
+            self._v_perp[:, None], (self.nv_perp, self.nv_par)
+        )
+
+    def cell_volumes(self) -> np.ndarray:
+        """Velocity-space measures ``J * h_par * h_perp`` flattened ``(n,)``.
+
+        Integrals become plain dot products against this vector:
+        ``density = volumes @ f``.
+        """
+        return (self.jacobian() * self.h_par * self.h_perp).reshape(-1)
+
+    def flat_coords(self) -> tuple[np.ndarray, np.ndarray]:
+        """Flattened centre coordinates ``(v_par, v_perp)``, each ``(n,)``."""
+        vpar, vperp = self.meshgrid()
+        return vpar.reshape(-1), vperp.reshape(-1)

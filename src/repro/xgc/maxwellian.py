@@ -1,0 +1,121 @@
+"""Maxwellian distributions and velocity-space moments.
+
+The collision operator relaxes each species' distribution toward a drifting
+Maxwellian; its nonlinear coefficients are functions of the distribution's
+own moments (density, parallel flow, temperature).  This module provides
+the Maxwellian constructor and the discrete moment integrals, both defined
+against the cylindrical measure of :class:`~repro.xgc.grid.VelocityGrid`.
+
+All moment routines accept either a single flattened distribution ``(n,)``
+or a batch ``(num_batch, n)`` and vectorise accordingly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..utils.validation import check_positive
+from .grid import VelocityGrid
+
+__all__ = ["Moments", "maxwellian", "moments", "relative_entropy"]
+
+
+@dataclass(frozen=True)
+class Moments:
+    """Fluid moments of a distribution function (per batch entry).
+
+    Attributes
+    ----------
+    density:
+        Number density ``n = \\int f J dv``.
+    mean_v_par:
+        Parallel flow ``u = (1/n) \\int v_par f J dv``.
+    temperature:
+        Kinetic temperature from the second central moment,
+        ``T = (1/3n) \\int |v - u|^2 f J dv`` in species-normalised
+        velocity units (3 degrees of freedom: one parallel + two
+        perpendicular folded into ``v_perp``), in units of the reference
+        temperature ``T0``.
+    """
+
+    density: np.ndarray
+    mean_v_par: np.ndarray
+    temperature: np.ndarray
+
+    def thermal_speed_sq(self) -> np.ndarray:
+        """Squared thermal spread on the normalised grid (= T / T0)."""
+        return self.temperature
+
+
+def maxwellian(
+    grid: VelocityGrid,
+    density: float = 1.0,
+    temperature: float = 1.0,
+    mean_v_par: float = 0.0,
+) -> np.ndarray:
+    """Drifting Maxwellian on ``grid``, flattened to ``(num_cells,)``.
+
+    Velocities are *species-normalised* (XGC's per-species grids): the grid
+    coordinate is ``v / v_t(T0)`` with ``T0`` the reference temperature, so
+    the squared thermal spread on the grid is simply ``temperature`` (in
+    units of ``T0``) and the species mass does not appear — it enters the
+    physics only through the collision frequency.
+
+    Normalised so that the *discrete* density moment equals ``density``
+    exactly (the analytic normalisation is corrected for quadrature error,
+    which keeps the conservation diagnostics exact at t=0).
+    """
+    check_positive(density, "density")
+    check_positive(temperature, "temperature")
+    vpar, vperp = grid.flat_coords()
+    vt2 = temperature
+    arg = ((vpar - mean_v_par) ** 2 + vperp**2) / (2.0 * vt2)
+    f = np.exp(-arg)
+    discrete_n = grid.cell_volumes() @ f
+    return f * (density / discrete_n)
+
+
+def moments(grid: VelocityGrid, f: np.ndarray) -> Moments:
+    """Discrete fluid moments of ``f`` (single ``(n,)`` or batch ``(nb, n)``).
+
+    The temperature uses 3 effective degrees of freedom — ``v_perp`` is a
+    2D speed under the cylindrical measure — matching the equipartition of
+    the Maxwellian produced by :func:`maxwellian`.
+    """
+    w = grid.cell_volumes()
+    vpar, vperp = grid.flat_coords()
+    f2 = np.atleast_2d(f)
+
+    n = f2 @ w
+    if np.any(n <= 0):
+        raise ValueError("distribution has non-positive density")
+    u = (f2 @ (w * vpar)) / n
+    # Second central moment with the batch-dependent drift subtracted.
+    c2 = (f2 @ (w * (vpar**2 + vperp**2))) / n - u**2
+    temperature = c2 / 3.0
+
+    if f.ndim == 1:
+        return Moments(
+            density=n[0], mean_v_par=u[0], temperature=temperature[0]
+        )
+    return Moments(density=n, mean_v_par=u, temperature=temperature)
+
+
+def relative_entropy(grid: VelocityGrid, f: np.ndarray, f_ref: np.ndarray) -> np.ndarray:
+    """Discrete KL divergence ``\\int f log(f / f_ref) J dv`` per entry.
+
+    A Lyapunov functional of the collision operator: it must decay along
+    the relaxation (used by the physics tests).  Cells where either
+    distribution is non-positive are excluded from the integral.
+    """
+    w = grid.cell_volumes()
+    f2 = np.atleast_2d(f)
+    r2 = np.atleast_2d(np.broadcast_to(f_ref, f2.shape))
+    valid = (f2 > 0) & (r2 > 0)
+    ratio = np.ones_like(f2)
+    np.divide(f2, r2, out=ratio, where=valid)
+    integrand = np.where(valid, f2 * np.log(ratio), 0.0)
+    out = integrand @ w
+    return out[0] if f.ndim == 1 else out

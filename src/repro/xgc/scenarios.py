@@ -1,0 +1,76 @@
+"""Predefined proxy-app scenarios, including multi-ion plasmas.
+
+The proxy app (and therefore the paper's evaluation) simulates "a plasma
+with one ion species (along with electrons)", but "the future XGC
+application is expected to simulate multiple ion species (~10) and
+electrons".  The batched-solver design is what makes that cheap: more
+species per node just means more systems in the batch, all sharing the
+stencil pattern.
+
+This module provides ready-made configurations:
+
+* :func:`single_ion` — the paper's evaluation setup (electrons + deuterium);
+* :func:`multi_ion` — a deuterium-tritium burning-plasma mix with a carbon
+  impurity (4 species per node), prefiguring the multi-species future;
+* :func:`electron_only` — the stiffest systems alone, for solver stress
+  tests.
+
+Additional heavy species are defined here rather than in
+:mod:`repro.xgc.species` because only the two-species set is part of the
+paper's evaluated configuration.
+"""
+
+from __future__ import annotations
+
+from .proxyapp import ProxyAppConfig
+from .species import DEUTERON, ELECTRON, Species
+
+__all__ = [
+    "TRITON",
+    "CARBON",
+    "single_ion",
+    "multi_ion",
+    "electron_only",
+]
+
+#: Tritium ion (m_T / m_e ~ 5497).
+TRITON = Species(name="triton", mass=5497.0, charge=1.0)
+
+#: Fully-stripped carbon-12 impurity (m_C / m_e ~ 21875).
+CARBON = Species(name="carbon", mass=21875.0, charge=6.0)
+
+
+def single_ion(num_mesh_nodes: int = 8, **overrides) -> ProxyAppConfig:
+    """The paper's evaluated configuration: electrons + deuterium.
+
+    Keyword overrides are forwarded to :class:`ProxyAppConfig`.
+    """
+    return ProxyAppConfig(
+        num_mesh_nodes=num_mesh_nodes,
+        species=(ELECTRON, DEUTERON),
+        **overrides,
+    )
+
+
+def multi_ion(num_mesh_nodes: int = 4, **overrides) -> ProxyAppConfig:
+    """A D-T burning-plasma mix with a carbon impurity (4 species/node).
+
+    The batch grows to ``4 * num_mesh_nodes`` systems; the heavier species
+    are progressively less collisional (``nu ~ 1/sqrt(m)``), so the batch
+    spans a wide per-system difficulty range — a stress test for the
+    per-system convergence monitoring.
+    """
+    return ProxyAppConfig(
+        num_mesh_nodes=num_mesh_nodes,
+        species=(ELECTRON, DEUTERON, TRITON, CARBON),
+        **overrides,
+    )
+
+
+def electron_only(num_mesh_nodes: int = 8, **overrides) -> ProxyAppConfig:
+    """Electrons alone: every system in the batch is a hard one."""
+    return ProxyAppConfig(
+        num_mesh_nodes=num_mesh_nodes,
+        species=(ELECTRON,),
+        **overrides,
+    )

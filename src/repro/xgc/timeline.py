@@ -1,0 +1,211 @@
+"""Execution-timeline tracer — the Fig. 1 reproduction.
+
+Fig. 1 profiles one Picard loop of the proxy app with the linear solver on
+the CPU: black CPU bars (dominated by ``dgbsv``), blue GPU bars (the
+collision-operator coefficient computation and updates), red device-to-host
+and green host-to-device transfer bars.  The paper reads three numbers off
+it: ~48% of the loop is CPU work, ~66% of that CPU work is the ``dgbsv``
+call itself, and transfers add ~9% — the motivation for moving the solver
+to the GPU.
+
+:func:`simulate_picard_timeline` rebuilds that timeline from the cost
+models: the CPU solve from :mod:`repro.gpu.cpu_model`, transfers from the
+matrix/RHS footprint over a PCIe-class link, the GPU solve (in the
+``solver="gpu"`` configuration) from :mod:`repro.gpu.timing`.  The GPU
+physics work (coefficient evaluation — the Rosenbluth-potential analogue)
+and the CPU-side pre/post-processing are charged per system with
+calibrated unit costs chosen to land on the paper's 48/66/9 split; both
+constants are module-level and documented.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..gpu.cpu_model import estimate_cpu_dgbsv
+from ..gpu.hardware import SKYLAKE_NODE, V100, CpuSpec, GpuSpec
+from ..gpu.timing import estimate_iterative_solve
+from ..utils.validation import check_in, check_positive
+
+__all__ = ["Segment", "TimelineReport", "simulate_picard_timeline"]
+
+#: Host-device link bandwidth (PCIe gen3 x16 effective), bytes/s.
+PCIE_BW = 12e9
+
+#: GPU-side physics work per system per Picard iteration (coefficient
+#: evaluation, moment updates), seconds.  Calibrated so the CPU-solver
+#: configuration reproduces Fig. 1's ~48% CPU share.
+GPU_PHYSICS_PER_SYSTEM = 26e-6
+
+#: CPU-side pre/post-processing per system per Picard iteration (packing
+#: the band storage, scattering solutions), seconds.  Calibrated to
+#: Fig. 1's "~66% of CPU time is the dgbsv call itself".
+CPU_OTHER_PER_SYSTEM = 10e-6
+
+
+@dataclass(frozen=True)
+class Segment:
+    """One bar of the execution timeline.
+
+    Attributes
+    ----------
+    lane:
+        ``"cpu"``, ``"gpu"``, ``"h2d"`` or ``"d2h"`` (Fig. 1's four
+        colours).
+    start, end:
+        Interval in seconds from the loop start.
+    label:
+        Human-readable description.
+    """
+
+    lane: str
+    start: float
+    end: float
+    label: str
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass
+class TimelineReport:
+    """A simulated Picard-loop timeline plus the Fig. 1 summary numbers."""
+
+    segments: list[Segment] = field(default_factory=list)
+    solver_location: str = "cpu"
+
+    @property
+    def total_time(self) -> float:
+        """End-to-end wall clock of the loop."""
+        return max((s.end for s in self.segments), default=0.0)
+
+    def lane_total(self, lane: str) -> float:
+        """Summed duration of one lane."""
+        return sum(s.duration for s in self.segments if s.lane == lane)
+
+    def label_total(self, label_prefix: str) -> float:
+        """Summed duration of segments whose label starts with a prefix."""
+        return sum(
+            s.duration for s in self.segments if s.label.startswith(label_prefix)
+        )
+
+    @property
+    def cpu_fraction(self) -> float:
+        """Fraction of the loop spent on the CPU (paper: ~48%)."""
+        return self.lane_total("cpu") / self.total_time
+
+    @property
+    def solve_fraction_of_cpu(self) -> float:
+        """Fraction of CPU time inside the solver call (paper: ~66%)."""
+        cpu = self.lane_total("cpu")
+        return self.label_total("dgbsv") / cpu if cpu > 0 else 0.0
+
+    @property
+    def transfer_fraction(self) -> float:
+        """Fraction of the loop spent on H2D+D2H transfers (paper: ~9%)."""
+        return (
+            self.lane_total("h2d") + self.lane_total("d2h")
+        ) / self.total_time
+
+    def summary(self) -> dict:
+        """The three Fig. 1 headline percentages."""
+        return {
+            "cpu_percent": 100.0 * self.cpu_fraction,
+            "solve_percent_of_cpu": 100.0 * self.solve_fraction_of_cpu,
+            "transfer_percent": 100.0 * self.transfer_fraction,
+            "total_ms": 1e3 * self.total_time,
+        }
+
+
+def simulate_picard_timeline(
+    num_systems: int,
+    *,
+    solver: str = "cpu",
+    num_picard: int = 5,
+    num_rows: int = 992,
+    nnz: int = 8554,
+    kl: int = 33,
+    ku: int = 33,
+    gpu: GpuSpec = V100,
+    cpu: CpuSpec = SKYLAKE_NODE,
+    gpu_iterations: np.ndarray | None = None,
+) -> TimelineReport:
+    """Simulate one Picard loop's execution timeline.
+
+    Parameters
+    ----------
+    num_systems:
+        Batch size on this rank.
+    solver:
+        ``"cpu"`` — the production configuration Fig. 1 profiles
+        (``dgbsv`` on the host, with D2H/H2D transfers around it) — or
+        ``"gpu"`` — the paper's proposed configuration (batched BiCGSTAB
+        in place, no transfers).
+    num_picard:
+        Picard iterations in the loop (paper: 5).
+    gpu_iterations:
+        Per-system solver iteration counts for the GPU configuration
+        (defaults to a representative warm-started mixed batch).
+    """
+    check_positive(num_systems, "num_systems")
+    check_in(solver, ("cpu", "gpu"), "solver")
+
+    report = TimelineReport(solver_location=solver)
+    t = 0.0
+    matrix_bytes = num_systems * nnz * 8
+    rhs_bytes = num_systems * num_rows * 8
+    gpu_physics = num_systems * GPU_PHYSICS_PER_SYSTEM
+
+    for k in range(num_picard):
+        # GPU: evaluate coefficients / assemble operators at iterate k.
+        report.segments.append(
+            Segment("gpu", t, t + gpu_physics, f"physics (picard {k})")
+        )
+        t += gpu_physics
+
+        if solver == "cpu":
+            d2h = (matrix_bytes + rhs_bytes) / PCIE_BW
+            report.segments.append(
+                Segment("d2h", t, t + d2h, f"matrices to host (picard {k})")
+            )
+            t += d2h
+
+            prep = num_systems * CPU_OTHER_PER_SYSTEM / 2
+            report.segments.append(Segment("cpu", t, t + prep, f"pack (picard {k})"))
+            t += prep
+
+            solve = estimate_cpu_dgbsv(cpu, num_rows, kl, ku, num_systems).total_time_s
+            report.segments.append(Segment("cpu", t, t + solve, f"dgbsv (picard {k})"))
+            t += solve
+
+            post = num_systems * CPU_OTHER_PER_SYSTEM / 2
+            report.segments.append(
+                Segment("cpu", t, t + post, f"scatter (picard {k})")
+            )
+            t += post
+
+            h2d = rhs_bytes / PCIE_BW
+            report.segments.append(
+                Segment("h2d", t, t + h2d, f"solutions to device (picard {k})")
+            )
+            t += h2d
+        else:
+            if gpu_iterations is None:
+                # Representative warm-started electron/ion mix, decaying
+                # with the Picard index as in Table III.
+                decay = [30, 24, 19, 13, 8][min(k, 4)]
+                its = np.tile([decay, max(decay // 6, 1)], num_systems)[:num_systems]
+            else:
+                its = gpu_iterations
+            est = estimate_iterative_solve(
+                gpu, "ell", num_rows, nnz, its, stored_nnz=9 * num_rows
+            )
+            report.segments.append(
+                Segment("gpu", t, t + est.total_time_s, f"batched solve (picard {k})")
+            )
+            t += est.total_time_s
+
+    return report

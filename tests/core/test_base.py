@@ -1,0 +1,93 @@
+"""Tests for the shared iterative-solver machinery."""
+
+import numpy as np
+import pytest
+
+from repro.core import AbsoluteResidual, BatchBicgstab, BatchCsr
+from repro.core.solvers import safe_divide
+from repro.core.solvers.base import BatchedIterativeSolver
+
+
+class TestSafeDivide:
+    def test_normal_division(self):
+        num = np.array([4.0, 9.0])
+        den = np.array([2.0, 3.0])
+        active = np.array([True, True])
+        np.testing.assert_array_equal(safe_divide(num, den, active), [2.0, 3.0])
+
+    def test_inactive_gives_zero(self):
+        out = safe_divide(
+            np.array([4.0, 9.0]), np.array([2.0, 3.0]),
+            np.array([True, False]),
+        )
+        np.testing.assert_array_equal(out, [2.0, 0.0])
+
+    def test_zero_denominator_gives_zero(self):
+        out = safe_divide(
+            np.array([4.0, 9.0]), np.array([0.0, 3.0]),
+            np.array([True, True]),
+        )
+        np.testing.assert_array_equal(out, [0.0, 3.0])
+        assert np.all(np.isfinite(out))
+
+    def test_out_parameter(self):
+        out = np.empty(2)
+        res = safe_divide(
+            np.ones(2), np.ones(2), np.ones(2, dtype=bool), out=out
+        )
+        assert res is out
+
+    def test_no_warnings_on_division_by_zero(self):
+        with np.errstate(divide="raise", invalid="raise"):
+            safe_divide(
+                np.array([1.0]), np.array([0.0]), np.array([True])
+            )
+
+
+class TestSolverConstruction:
+    def test_string_preconditioner_resolved(self):
+        s = BatchBicgstab(preconditioner="jacobi")
+        from repro.core import JacobiPreconditioner
+
+        assert isinstance(s.preconditioner, JacobiPreconditioner)
+
+    def test_default_criterion_is_paper_tolerance(self):
+        s = BatchBicgstab()
+        assert isinstance(s.criterion, AbsoluteResidual)
+        assert s.criterion.tol == 1e-10
+
+    def test_invalid_max_iter(self):
+        with pytest.raises(ValueError):
+            BatchBicgstab(max_iter=0)
+
+    def test_subclass_must_implement_iterate(self):
+        class Incomplete(BatchedIterativeSolver):
+            name = "incomplete"
+
+        m = BatchCsr.from_dense(np.eye(3)[None])
+        with pytest.raises(NotImplementedError):
+            Incomplete().solve(m, np.ones((1, 3)))
+
+
+class TestWorkspaceLifecycle:
+    def test_workspace_rebuilt_on_dimension_change(self, rng):
+        s = BatchBicgstab(preconditioner="jacobi")
+        m1 = BatchCsr.from_dense(
+            np.eye(4)[None] * (2 + rng.random((2, 4, 4)) * 0)
+        )
+        s.solve(m1, rng.standard_normal((2, 4)))
+        ws1 = s._workspace
+        m2 = BatchCsr.from_dense(np.eye(6)[None] * 2)
+        s.solve(m2, rng.standard_normal((1, 6)))
+        assert s._workspace is not ws1
+        assert s._workspace.matches(1, 6)
+
+    def test_result_arrays_are_decoupled_from_workspace(self, rng, csr_batch):
+        """Returned solutions must be copies: a later solve on the same
+        solver instance must not mutate an earlier result."""
+        s = BatchBicgstab(preconditioner="jacobi")
+        b1 = rng.standard_normal((csr_batch.num_batch, csr_batch.num_rows))
+        r1 = s.solve(csr_batch, b1)
+        x1 = r1.x.copy()
+        s.solve(csr_batch, 2.0 * b1)
+        np.testing.assert_array_equal(r1.x, x1)

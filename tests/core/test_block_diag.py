@@ -1,0 +1,86 @@
+"""Tests for the monolithic block-diagonal ablation (Section II)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    AbsoluteResidual,
+    BatchBicgstab,
+    MonolithicBlockSolver,
+    assemble_block_diagonal,
+)
+
+
+class TestAssembly:
+    def test_block_structure(self, csr_batch, dense_batch):
+        mono = assemble_block_diagonal(csr_batch)
+        nb, n = csr_batch.num_batch, csr_batch.num_rows
+        assert mono.num_batch == 1
+        assert mono.num_rows == nb * n
+        big = mono.entry_dense(0)
+        for k in range(nb):
+            s = k * n
+            np.testing.assert_array_equal(big[s: s + n, s: s + n], dense_batch[k])
+        # Off-diagonal blocks are empty.
+        big_copy = big.copy()
+        for k in range(nb):
+            s = k * n
+            big_copy[s: s + n, s: s + n] = 0.0
+        assert np.all(big_copy == 0.0)
+
+    def test_pattern_is_duplicated(self, csr_batch):
+        """The storage overhead the paper calls out: monolithic metadata is
+        num_batch times the shared-pattern metadata."""
+        mono = assemble_block_diagonal(csr_batch)
+        nb = csr_batch.num_batch
+        assert mono.col_idxs.size == nb * csr_batch.col_idxs.size
+        # Values payload is identical; metadata grew.
+        assert mono.values.nbytes == csr_batch.values.nbytes
+        assert mono.storage_bytes() > csr_batch.storage_bytes()
+
+    def test_spmv_agrees_with_batched(self, rng, csr_batch):
+        mono = assemble_block_diagonal(csr_batch)
+        nb, n = csr_batch.num_batch, csr_batch.num_rows
+        x = rng.standard_normal((nb, n))
+        y_batched = csr_batch.apply(x)
+        y_mono = mono.apply(x.reshape(1, nb * n)).reshape(nb, n)
+        np.testing.assert_allclose(y_mono, y_batched, rtol=1e-10, atol=1e-12)
+
+
+class TestMonolithicSolver:
+    def test_coupled_iteration_counts(self, rng, csr_batch):
+        b = rng.standard_normal((csr_batch.num_batch, csr_batch.num_rows))
+        res = MonolithicBlockSolver().solve(csr_batch, b)
+        # Every block reports the worst block's count.
+        assert np.all(res.iterations == res.iterations[0])
+        batched = BatchBicgstab(
+            preconditioner="jacobi", criterion=AbsoluteResidual(1e-10),
+        ).solve(csr_batch, b)
+        assert res.iterations[0] == batched.iterations.max()
+        # Coupling only costs work, never saves it.
+        assert res.total_iterations >= batched.total_iterations
+
+    def test_solution_accuracy(self, rng, csr_batch):
+        x_true = rng.standard_normal((csr_batch.num_batch, csr_batch.num_rows))
+        b = csr_batch.apply(x_true)
+        res = MonolithicBlockSolver().solve(csr_batch, b)
+        assert res.all_converged
+        np.testing.assert_allclose(res.x, x_true, atol=1e-7)
+
+    def test_solve_assembled_path(self, rng, csr_batch):
+        x_true = rng.standard_normal((csr_batch.num_batch, csr_batch.num_rows))
+        b = csr_batch.apply(x_true)
+        res = MonolithicBlockSolver(tol=1e-10).solve_assembled(csr_batch, b)
+        assert res.all_converged
+        np.testing.assert_allclose(res.x, x_true, atol=1e-6)
+        assert np.all(res.iterations == res.iterations[0])
+
+    def test_assembled_iterations_at_least_worst_block(self, rng, csr_batch):
+        b = rng.standard_normal((csr_batch.num_batch, csr_batch.num_rows))
+        mono = MonolithicBlockSolver(tol=1e-10).solve_assembled(csr_batch, b)
+        batched = BatchBicgstab(
+            preconditioner="jacobi", criterion=AbsoluteResidual(1e-10),
+        ).solve(csr_batch, b)
+        # Global-residual tolerance is stricter than any per-block one, and
+        # the global Krylov space is no better than per-block spaces.
+        assert mono.iterations[0] >= batched.iterations.min()

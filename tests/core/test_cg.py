@@ -1,0 +1,79 @@
+"""Tests for the batched Conjugate Gradient solver."""
+
+import numpy as np
+import pytest
+
+from repro.core import AbsoluteResidual, BatchCg, BatchCsr, to_format
+
+
+def solver(**kw):
+    kw.setdefault("preconditioner", "jacobi")
+    kw.setdefault("criterion", AbsoluteResidual(1e-10))
+    kw.setdefault("max_iter", 500)
+    return BatchCg(**kw)
+
+
+@pytest.fixture
+def spd_csr(spd_batch):
+    return BatchCsr.from_dense(spd_batch)
+
+
+class TestConvergence:
+    @pytest.mark.parametrize("fmt", ["csr", "ell"])
+    def test_solves_spd_batch(self, rng, spd_csr, fmt):
+        m = to_format(spd_csr, fmt)
+        x_true = rng.standard_normal((m.num_batch, m.num_rows))
+        b = m.apply(x_true)
+        res = solver().solve(m, b)
+        assert res.all_converged
+        np.testing.assert_allclose(res.x, x_true, atol=1e-7)
+
+    def test_true_residual_matches(self, rng, spd_csr):
+        b = rng.standard_normal((spd_csr.num_batch, spd_csr.num_rows))
+        res = solver().solve(spd_csr, b)
+        true_res = np.linalg.norm(b - spd_csr.apply(res.x), axis=1)
+        assert np.all(true_res < 1e-8)
+
+    def test_finite_termination_on_identity(self, rng):
+        n = 10
+        m = BatchCsr.from_dense(np.broadcast_to(np.eye(n), (2, n, n)).copy())
+        b = rng.standard_normal((2, n))
+        res = solver().solve(m, b)
+        assert res.max_iterations <= 1
+        np.testing.assert_allclose(res.x, b)
+
+    def test_krylov_bound(self, rng):
+        """Exact CG converges in at most n iterations (with slack for
+        floating point)."""
+        n = 15
+        a = rng.standard_normal((2, n, n))
+        spd = np.einsum("bij,bkj->bik", a, a) + n * np.eye(n)
+        m = BatchCsr.from_dense(spd)
+        b = rng.standard_normal((2, n))
+        res = solver(preconditioner="identity").solve(m, b)
+        assert res.all_converged
+        assert res.max_iterations <= 2 * n
+
+    def test_warm_start(self, rng, spd_csr):
+        x_true = rng.standard_normal((spd_csr.num_batch, spd_csr.num_rows))
+        b = spd_csr.apply(x_true)
+        cold = solver().solve(spd_csr, b)
+        warm = solver().solve(
+            spd_csr, b, x0=x_true + 1e-7 * rng.standard_normal(x_true.shape)
+        )
+        assert warm.total_iterations < cold.total_iterations
+
+    def test_per_system_counts(self, rng, spd_csr):
+        b = rng.standard_normal((spd_csr.num_batch, spd_csr.num_rows))
+        res = solver().solve(spd_csr, b)
+        # Per-system counts recorded and at least one system nontrivial.
+        assert res.iterations.shape == (spd_csr.num_batch,)
+        assert res.iterations.max() >= 1
+
+    def test_nonsymmetric_fails_gracefully(self, rng, csr_batch):
+        """CG on a (strongly) nonsymmetric system must not blow up: it
+        reports non-convergence with finite values."""
+        b = rng.standard_normal((csr_batch.num_batch, csr_batch.num_rows))
+        res = solver(max_iter=50).solve(csr_batch, b)
+        assert np.all(np.isfinite(res.x))
+        assert np.all(np.isfinite(res.residual_norms))

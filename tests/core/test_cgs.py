@@ -1,0 +1,83 @@
+"""Tests for the batched CGS solver."""
+
+import numpy as np
+import pytest
+
+from repro.core import AbsoluteResidual, BatchCgs, BatchCsr, make_solver, to_format
+
+
+def solver(**kw):
+    kw.setdefault("preconditioner", "jacobi")
+    kw.setdefault("criterion", AbsoluteResidual(1e-10))
+    kw.setdefault("max_iter", 500)
+    return BatchCgs(**kw)
+
+
+class TestConvergence:
+    @pytest.mark.parametrize("fmt", ["csr", "ell"])
+    def test_solves_nonsymmetric_batch(self, rng, csr_batch, fmt):
+        m = to_format(csr_batch, fmt)
+        x_true = rng.standard_normal((m.num_batch, m.num_rows))
+        b = m.apply(x_true)
+        res = solver().solve(m, b)
+        assert res.all_converged
+        np.testing.assert_allclose(res.x, x_true, atol=1e-7)
+
+    def test_true_residual_meets_tolerance(self, rng, csr_batch):
+        b = rng.standard_normal((csr_batch.num_batch, csr_batch.num_rows))
+        res = solver().solve(csr_batch, b)
+        true_res = np.linalg.norm(b - csr_batch.apply(res.x), axis=1)
+        assert np.all(true_res < 1e-9)
+
+    def test_factory_name(self):
+        assert isinstance(make_solver("cgs"), BatchCgs)
+
+    def test_per_system_termination(self, rng):
+        n = 20
+        easy = np.eye(n)[None] * 2.0
+        hard = rng.standard_normal((1, n, n))
+        hard += np.eye(n) * (np.abs(hard).sum(axis=2, keepdims=True) + 1)
+        m = BatchCsr.from_dense(np.concatenate([easy, hard]))
+        b = rng.standard_normal((2, n))
+        res = solver().solve(m, b)
+        assert res.all_converged
+        assert res.iterations[0] <= res.iterations[1]
+
+    def test_warm_start(self, rng, csr_batch):
+        x_true = rng.standard_normal((csr_batch.num_batch, csr_batch.num_rows))
+        b = csr_batch.apply(x_true)
+        cold = solver().solve(csr_batch, b)
+        warm = solver().solve(
+            csr_batch, b, x0=x_true + 1e-7 * rng.standard_normal(x_true.shape)
+        )
+        assert warm.total_iterations < cold.total_iterations
+
+    def test_comparable_to_bicgstab_on_easy_problems(self, rng, csr_batch):
+        from repro.core import BatchBicgstab
+
+        b = rng.standard_normal((csr_batch.num_batch, csr_batch.num_rows))
+        cgs = solver().solve(csr_batch, b)
+        bicg = BatchBicgstab(
+            preconditioner="jacobi", criterion=AbsoluteResidual(1e-10),
+            max_iter=500,
+        ).solve(csr_batch, b)
+        assert cgs.all_converged
+        # Same ballpark of iterations (CGS does 2 SpMVs/iter like BiCGSTAB).
+        assert cgs.total_iterations < 3 * bicg.total_iterations
+
+    def test_zero_rhs(self, csr_batch):
+        b = np.zeros((csr_batch.num_batch, csr_batch.num_rows))
+        res = solver().solve(csr_batch, b)
+        assert res.all_converged
+        assert np.all(res.iterations == 0)
+
+    def test_unconverged_finite(self, rng, csr_batch):
+        b = rng.standard_normal((csr_batch.num_batch, csr_batch.num_rows))
+        res = solver(max_iter=1).solve(csr_batch, b)
+        assert not res.all_converged
+        assert np.all(np.isfinite(res.x))
+
+    def test_solves_xgc_matrices(self, small_app):
+        matrix, f = small_app.build_matrices()
+        res = solver().solve(matrix, f)
+        assert res.all_converged

@@ -1,0 +1,124 @@
+"""Tests for the batched dense LU solver (batched-dense related work)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import BatchCsr, BatchDense, BatchDenseLu, dense_lu_solve
+
+
+class TestDenseLuSolve:
+    @pytest.mark.parametrize("n", [1, 2, 5, 30])
+    def test_matches_numpy(self, rng, n):
+        a = rng.standard_normal((4, n, n)) + 2 * n * np.eye(n)
+        b = rng.standard_normal((4, n))
+        x = dense_lu_solve(a.copy(), b)
+        for k in range(4):
+            np.testing.assert_allclose(
+                x[k], np.linalg.solve(a[k], b[k]), rtol=1e-9, atol=1e-11
+            )
+
+    def test_pivoting_handles_zero_leading_entry(self, rng):
+        a = rng.standard_normal((2, 4, 4)) + 4 * np.eye(4)
+        a[:, 0, 0] = 0.0  # forces a swap at the first column
+        x_true = rng.standard_normal((2, 4))
+        b = np.einsum("bij,bj->bi", a, x_true)
+        x = dense_lu_solve(a.copy(), b)
+        np.testing.assert_allclose(x, x_true, rtol=1e-8, atol=1e-10)
+
+    def test_per_system_pivots(self, rng):
+        """Systems in the same batch may swap different rows."""
+        a = np.tile(np.eye(5), (2, 1, 1)) * 3.0
+        a[0, 1, 1] = 1e-30
+        a[0, 3, 1] = 2.0
+        a[1] += 0.1 * rng.standard_normal((5, 5))
+        x_true = rng.standard_normal((2, 5))
+        b = np.einsum("bij,bj->bi", a, x_true)
+        x = dense_lu_solve(a.copy(), b)
+        np.testing.assert_allclose(x, x_true, rtol=1e-6, atol=1e-8)
+
+    def test_singular_raises(self, rng):
+        a = rng.standard_normal((2, 4, 4)) + 4 * np.eye(4)
+        a[1, 2, :] = 0.0
+        with pytest.raises(np.linalg.LinAlgError, match="singular"):
+            dense_lu_solve(a.copy(), np.ones((2, 4)))
+
+    def test_shape_validation(self, rng):
+        with pytest.raises(ValueError):
+            dense_lu_solve(rng.standard_normal((1, 3, 4)), np.ones((1, 3)))
+        with pytest.raises(ValueError):
+            dense_lu_solve(
+                rng.standard_normal((1, 3, 3)) + 3 * np.eye(3),
+                np.ones((2, 3)),
+            )
+
+    @given(seed=st.integers(0, 2**20), n=st.integers(1, 20))
+    @settings(max_examples=50, deadline=None)
+    def test_property_random_dominant(self, seed, n):
+        rng = np.random.default_rng(seed)
+        a = rng.standard_normal((3, n, n))
+        i = np.arange(n)
+        a[:, i, i] = np.abs(a).sum(axis=2) + 1.0
+        x_true = rng.standard_normal((3, n))
+        b = np.einsum("bij,bj->bi", a, x_true)
+        x = dense_lu_solve(a.copy(), b)
+        np.testing.assert_allclose(x, x_true, rtol=1e-7, atol=1e-9)
+
+
+class TestBatchDenseLuSolver:
+    def test_solve_interface_dense_input(self, rng, dense_batch):
+        m = BatchDense(dense_batch)
+        x_true = rng.standard_normal((m.num_batch, m.num_rows))
+        b = m.apply(x_true)
+        res = BatchDenseLu().solve(m, b)
+        assert res.all_converged
+        assert res.solver == "dense-lu"
+        np.testing.assert_allclose(res.x, x_true, rtol=1e-8, atol=1e-10)
+
+    def test_sparse_input_densified(self, rng, csr_batch):
+        b = rng.standard_normal((csr_batch.num_batch, csr_batch.num_rows))
+        res = BatchDenseLu().solve(csr_batch, b)
+        assert res.residual_norms.max() < 1e-9
+
+    def test_agrees_with_banded_lu(self, rng):
+        from repro.core import BatchBandedLu
+
+        from ..core.test_direct_banded import random_banded_dense
+
+        dense = random_banded_dense(rng, 2, 18, 2, 2)
+        m = BatchCsr.from_dense(dense)
+        b = rng.standard_normal((2, 18))
+        np.testing.assert_allclose(
+            BatchDenseLu().solve(m, b).x,
+            BatchBandedLu().solve(m, b).x,
+            rtol=1e-9, atol=1e-11,
+        )
+
+    def test_input_matrix_not_clobbered(self, rng, dense_batch):
+        m = BatchDense(dense_batch)
+        ref = m.values.copy()
+        BatchDenseLu().solve(m, rng.standard_normal((m.num_batch, m.num_rows)))
+        np.testing.assert_array_equal(m.values, ref)
+
+
+class TestCostModel:
+    def test_cubic_work(self):
+        from repro.gpu import dense_lu_work
+
+        w1, w2 = dense_lu_work(100), dense_lu_work(200)
+        assert w2.flops / w1.flops == pytest.approx(8.0, rel=0.05)
+
+    def test_motivation_ordering(self):
+        """Section II: GPU dense LU loses to CPU banded dgbsv at n=992."""
+        from repro.gpu import (
+            SKYLAKE_NODE,
+            V100,
+            estimate_cpu_dgbsv,
+            estimate_dense_lu,
+        )
+
+        nb = 1920
+        t_dense = estimate_dense_lu(V100, 992, nb).total_time_s
+        t_cpu = estimate_cpu_dgbsv(SKYLAKE_NODE, 992, 33, 33, nb).total_time_s
+        assert t_dense > t_cpu

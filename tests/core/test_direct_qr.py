@@ -1,0 +1,85 @@
+"""Tests for the batched banded Givens QR direct solver."""
+
+import numpy as np
+import pytest
+
+from repro.core import BatchBandedQr, BatchCsr, banded_qr_solve
+from repro.utils import csr_to_banded
+
+from .test_direct_banded import random_banded_dense
+
+
+class TestBandedQrSolve:
+    @pytest.mark.parametrize("kl,ku", [(1, 1), (2, 3), (4, 1), (0, 3), (2, 0)])
+    def test_matches_numpy_solve(self, rng, kl, ku):
+        nb, n = 3, 18
+        dense = random_banded_dense(rng, nb, n, kl, ku)
+        csr = BatchCsr.from_dense(dense)
+        b = rng.standard_normal((nb, n))
+        x = banded_qr_solve(csr_to_banded(csr), b)
+        for k in range(nb):
+            ref = np.linalg.solve(dense[k], b[k])
+            np.testing.assert_allclose(x[k], ref, rtol=1e-9, atol=1e-11)
+
+    def test_orthogonal_stability_without_dominance(self, rng):
+        """QR needs no pivoting: non-dominant (but nonsingular) matrices
+        solve accurately."""
+        nb, n = 2, 16
+        dense = random_banded_dense(rng, nb, n, 2, 2, dominant=False)
+        i = np.arange(n)
+        dense[:, i, i] += 0.5  # keep comfortably nonsingular
+        csr = BatchCsr.from_dense(dense)
+        x_true = rng.standard_normal((nb, n))
+        b = csr.apply(x_true)
+        x = banded_qr_solve(csr_to_banded(csr), b)
+        np.testing.assert_allclose(x, x_true, rtol=1e-7, atol=1e-9)
+
+    def test_singular_detected(self, rng):
+        n = 6
+        dense = random_banded_dense(rng, 1, n, 1, 1)
+        dense[0, 2, :] = 0.0  # zero row -> singular
+        csr = BatchCsr.from_dense(dense)
+        with pytest.raises(np.linalg.LinAlgError):
+            banded_qr_solve(csr_to_banded(csr), np.ones((1, n)))
+
+    def test_insufficient_fill_rejected(self, rng):
+        dense = random_banded_dense(rng, 1, 8, 2, 1)
+        banded = csr_to_banded(BatchCsr.from_dense(dense), fill=1)
+        with pytest.raises(ValueError, match="fill"):
+            banded_qr_solve(banded, np.ones((1, 8)))
+
+    def test_rhs_shape_checked(self, rng):
+        dense = random_banded_dense(rng, 2, 6, 1, 1)
+        banded = csr_to_banded(BatchCsr.from_dense(dense))
+        with pytest.raises(ValueError):
+            banded_qr_solve(banded, np.ones((2, 5)))
+
+
+class TestBatchBandedQrSolver:
+    def test_solve_interface(self, rng):
+        dense = random_banded_dense(rng, 3, 12, 2, 2)
+        csr = BatchCsr.from_dense(dense)
+        x_true = rng.standard_normal((3, 12))
+        b = csr.apply(x_true)
+        res = BatchBandedQr().solve(csr, b)
+        assert res.all_converged
+        assert res.solver == "sparse-qr"
+        assert np.all(res.iterations == 1)
+        np.testing.assert_allclose(res.x, x_true, rtol=1e-8, atol=1e-10)
+
+    def test_agrees_with_lu(self, rng):
+        from repro.core import BatchBandedLu
+
+        dense = random_banded_dense(rng, 2, 14, 2, 3)
+        csr = BatchCsr.from_dense(dense)
+        b = rng.standard_normal((2, 14))
+        x_qr = BatchBandedQr().solve(csr, b).x
+        x_lu = BatchBandedLu().solve(csr, b).x
+        np.testing.assert_allclose(x_qr, x_lu, rtol=1e-8, atol=1e-10)
+
+    def test_solves_xgc_matrices_small(self, small_app):
+        matrix, f = small_app.build_matrices()
+        from repro.core import to_format
+
+        res = BatchBandedQr().solve(to_format(matrix, "csr"), f)
+        assert np.all(res.residual_norms < 1e-8)

@@ -1,0 +1,50 @@
+"""Tests for the format-generic SpMV dispatch."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    BatchMatrix,
+    advanced_spmv,
+    residual,
+    spmv,
+)
+
+
+class TestDispatch:
+    @pytest.mark.parametrize("fmt", ["csr", "ell", "dense"])
+    def test_protocol_conformance(self, fmt, csr_batch, ell_batch, dense_fmt_batch):
+        m = {"csr": csr_batch, "ell": ell_batch, "dense": dense_fmt_batch}[fmt]
+        assert isinstance(m, BatchMatrix)
+        assert m.format_name == fmt
+
+    def test_spmv_delegates(self, rng, csr_batch):
+        x = rng.standard_normal((csr_batch.num_batch, csr_batch.num_cols))
+        np.testing.assert_array_equal(spmv(csr_batch, x), csr_batch.apply(x))
+
+    def test_all_formats_agree(self, rng, csr_batch, ell_batch, dense_fmt_batch):
+        x = rng.standard_normal((csr_batch.num_batch, csr_batch.num_cols))
+        y_csr = spmv(csr_batch, x)
+        np.testing.assert_allclose(spmv(ell_batch, x), y_csr, rtol=1e-12)
+        np.testing.assert_allclose(spmv(dense_fmt_batch, x), y_csr, rtol=1e-12)
+
+    def test_advanced_spmv(self, rng, ell_batch):
+        nb, n = ell_batch.num_batch, ell_batch.num_rows
+        x = rng.standard_normal((nb, n))
+        y = rng.standard_normal((nb, n))
+        expected = 1.5 * ell_batch.apply(x) + 2.0 * y
+        got = advanced_spmv(1.5, ell_batch, x, 2.0, y.copy())
+        np.testing.assert_allclose(got, expected, rtol=1e-12)
+
+    def test_residual(self, rng, csr_batch):
+        nb, n = csr_batch.num_batch, csr_batch.num_rows
+        x = rng.standard_normal((nb, n))
+        b = rng.standard_normal((nb, n))
+        r = residual(csr_batch, x, b)
+        np.testing.assert_allclose(r, b - csr_batch.apply(x), rtol=1e-12)
+
+    def test_residual_zero_for_exact_solution(self, rng, csr_batch):
+        x = rng.standard_normal((csr_batch.num_batch, csr_batch.num_rows))
+        b = csr_batch.apply(x)
+        r = residual(csr_batch, x, b)
+        assert np.abs(r).max() < 1e-10

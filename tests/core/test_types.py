@@ -1,0 +1,105 @@
+"""Tests for repro.core.types: BatchShape and SolveResult."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    BatchShape,
+    ConvergenceError,
+    DimensionMismatch,
+    SolveResult,
+)
+
+
+class TestBatchShape:
+    def test_holds_dimensions(self):
+        s = BatchShape(4, 10, 12)
+        assert s.num_batch == 4
+        assert s.num_rows == 10
+        assert s.num_cols == 12
+
+    @pytest.mark.parametrize("bad", [(0, 1, 1), (1, 0, 1), (1, 1, 0), (-2, 3, 3)])
+    def test_rejects_non_positive(self, bad):
+        with pytest.raises(ValueError):
+            BatchShape(*bad)
+
+    def test_rejects_non_integer(self):
+        with pytest.raises(ValueError):
+            BatchShape(2.5, 3, 3)
+
+    def test_is_square(self):
+        assert BatchShape(1, 5, 5).is_square
+        assert not BatchShape(1, 5, 6).is_square
+
+    def test_require_square_raises(self):
+        with pytest.raises(DimensionMismatch):
+            BatchShape(1, 5, 6).require_square()
+        BatchShape(1, 5, 5).require_square()  # no raise
+
+    def test_compatible_vector_accepts(self):
+        s = BatchShape(3, 4, 5)
+        x = np.zeros((3, 5))
+        assert s.compatible_vector(x) is x
+
+    def test_compatible_vector_rejects(self):
+        s = BatchShape(3, 4, 5)
+        with pytest.raises(DimensionMismatch):
+            s.compatible_vector(np.zeros((3, 4)))
+        with pytest.raises(DimensionMismatch):
+            s.compatible_vector(np.zeros((2, 5)))
+
+    def test_frozen(self):
+        s = BatchShape(1, 2, 3)
+        with pytest.raises(AttributeError):
+            s.num_batch = 5
+
+
+def _result(iters, converged, res=None):
+    nb = len(iters)
+    return SolveResult(
+        x=np.zeros((nb, 3)),
+        iterations=np.array(iters, dtype=np.int64),
+        residual_norms=np.array(res if res is not None else [1e-12] * nb),
+        converged=np.array(converged),
+        solver="test",
+        format="csr",
+    )
+
+
+class TestSolveResult:
+    def test_aggregates(self):
+        r = _result([3, 7, 5], [True, True, True])
+        assert r.num_batch == 3
+        assert r.max_iterations == 7
+        assert r.total_iterations == 15
+        assert r.all_converged
+
+    def test_all_converged_false(self):
+        r = _result([3, 7], [True, False])
+        assert not r.all_converged
+
+    def test_require_converged_passes(self):
+        r = _result([1], [True])
+        assert r.require_converged() is r
+
+    def test_require_converged_raises_with_details(self):
+        r = _result([1, 500, 500], [True, False, False], res=[1e-12, 0.5, 2.0])
+        with pytest.raises(ConvergenceError, match="2 of 3"):
+            r.require_converged()
+
+    def test_history_default_none(self):
+        r = _result([1], [True])
+        assert r.residual_history is None
+
+    def test_summary_contents(self):
+        r = _result([3, 7], [True, False], res=[1e-11, 0.5])
+        text = r.summary()
+        assert "1/2 converged" in text
+        assert "NO" in text  # the failed system is flagged
+        assert "iterations 3-7" in text
+
+    def test_summary_truncates(self):
+        r = _result([1] * 40, [True] * 40)
+        text = r.summary(max_rows=5)
+        assert "... 35 more systems" in text
+        assert len(text.splitlines()) == 2 + 5 + 1

@@ -1,0 +1,105 @@
+"""Tests for the multi-GPU node model."""
+
+import numpy as np
+import pytest
+
+from repro.dist import (
+    SUMMIT_NODE,
+    GpuNode,
+    estimate_node_solve,
+    gpu_scaling_study,
+)
+from repro.gpu import A100, V100
+
+
+@pytest.fixture(scope="module")
+def big_batch():
+    """Device-saturating mixed batch (electron/ion interleaved)."""
+    return np.tile([32, 4], 1920)
+
+
+class TestGpuNode:
+    def test_summit_definition(self):
+        assert SUMMIT_NODE.gpu is V100
+        assert SUMMIT_NODE.gpus_per_node == 6
+
+    def test_invalid_count(self):
+        with pytest.raises(ValueError):
+            GpuNode(gpu=V100, gpus_per_node=0)
+
+
+class TestEstimateNodeSolve:
+    def test_single_gpu_matches_plus_sync(self, big_batch):
+        from repro.gpu import estimate_iterative_solve
+
+        node = estimate_node_solve(
+            SUMMIT_NODE, "ell", 992, 8554, big_batch,
+            stored_nnz=9 * 992, num_gpus=1,
+        )
+        single = estimate_iterative_solve(
+            V100, "ell", 992, 8554, big_batch, stored_nnz=9 * 992
+        ).total_time_s
+        assert node.total_time_s == pytest.approx(
+            single + SUMMIT_NODE.sync_overhead_us * 1e-6
+        )
+        assert node.parallel_efficiency == pytest.approx(1.0, abs=0.01)
+
+    def test_six_gpus_much_faster(self, big_batch):
+        one = estimate_node_solve(
+            SUMMIT_NODE, "ell", 992, 8554, big_batch,
+            stored_nnz=9 * 992, num_gpus=1,
+        )
+        six = estimate_node_solve(
+            SUMMIT_NODE, "ell", 992, 8554, big_batch,
+            stored_nnz=9 * 992, num_gpus=6,
+        )
+        assert six.total_time_s < one.total_time_s / 3.5
+        assert six.num_gpus_used == 6
+
+    def test_invalid_gpu_count(self, big_batch):
+        with pytest.raises(ValueError):
+            estimate_node_solve(
+                SUMMIT_NODE, "ell", 992, 8554, big_batch, num_gpus=7
+            )
+
+    def test_tiny_batch_leaves_gpus_idle(self):
+        its = np.array([30, 5, 28])
+        node = estimate_node_solve(
+            SUMMIT_NODE, "ell", 992, 8554, its, stored_nnz=9 * 992,
+            num_gpus=6,
+        )
+        assert node.num_gpus_used == 3
+
+
+class TestScalingStudy:
+    def test_monotone_decreasing_at_scale(self, big_batch):
+        series = gpu_scaling_study(
+            SUMMIT_NODE, "ell", 992, 8554, big_batch, stored_nnz=9 * 992
+        )
+        times = [e.total_time_s for e in series]
+        assert all(b < a for a, b in zip(times, times[1:]))
+
+    def test_efficiency_decays_but_stays_reasonable(self, big_batch):
+        series = gpu_scaling_study(
+            SUMMIT_NODE, "ell", 992, 8554, big_batch, stored_nnz=9 * 992
+        )
+        effs = [e.parallel_efficiency for e in series]
+        assert all(0 < e <= 1.0 for e in effs)
+        assert effs[-1] > 0.6  # still worth using all six at this batch
+        assert all(b <= a + 0.02 for a, b in zip(effs, effs[1:]))
+
+    def test_saturation_on_small_batches(self):
+        """Below one GPU's slot count, extra devices cannot help much."""
+        its = np.tile([32, 4], 60)  # 120 systems < 160 V100 slots
+        series = gpu_scaling_study(
+            SUMMIT_NODE, "ell", 992, 8554, its, stored_nnz=9 * 992
+        )
+        assert series[-1].parallel_efficiency < 0.5
+
+    def test_other_gpu_models(self, big_batch):
+        node = GpuNode(gpu=A100, gpus_per_node=4)
+        series = gpu_scaling_study(
+            node, "ell", 992, 8554, big_batch, stored_nnz=9 * 992
+        )
+        assert len(series) == 4
+        assert series[-1].total_time_s < series[0].total_time_s

@@ -1,0 +1,90 @@
+"""Tests for the simulated-rank batch partitioning."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dist import imbalance, partition_batch
+
+
+class TestPartitionBatch:
+    def test_block_contiguous(self):
+        p = partition_batch(10, 3, scheme="block")
+        np.testing.assert_array_equal(p.counts(), [4, 3, 3])
+        np.testing.assert_array_equal(p.indices_of(0), [0, 1, 2, 3])
+        np.testing.assert_array_equal(p.indices_of(2), [7, 8, 9])
+
+    def test_cyclic_round_robin(self):
+        p = partition_batch(7, 3, scheme="cyclic")
+        np.testing.assert_array_equal(p.assignments, [0, 1, 2, 0, 1, 2, 0])
+
+    def test_every_entry_assigned_once(self):
+        p = partition_batch(100, 7)
+        assert p.counts().sum() == 100
+
+    def test_more_ranks_than_entries(self):
+        p = partition_batch(3, 8)
+        assert p.counts().sum() == 3
+        assert p.counts().max() == 1
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            partition_batch(0, 2)
+        with pytest.raises(ValueError):
+            partition_batch(5, 2, scheme="hash")
+        p = partition_batch(5, 2)
+        with pytest.raises(IndexError):
+            p.indices_of(2)
+
+    def test_scatter_gather_roundtrip(self, rng):
+        p = partition_batch(23, 5, scheme="cyclic")
+        data = rng.standard_normal((23, 4))
+        parts = p.scatter(data)
+        back = p.gather(parts)
+        np.testing.assert_array_equal(back, data)
+
+    def test_gather_validates(self, rng):
+        p = partition_batch(10, 2)
+        parts = p.scatter(rng.standard_normal((10, 3)))
+        with pytest.raises(ValueError):
+            p.gather(parts[:1])
+        with pytest.raises(ValueError):
+            p.gather([parts[0][:2], parts[1]])
+
+    @given(
+        num_batch=st.integers(1, 200),
+        num_ranks=st.integers(1, 32),
+        scheme=st.sampled_from(["block", "cyclic"]),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_partition_invariants(self, num_batch, num_ranks, scheme):
+        p = partition_batch(num_batch, num_ranks, scheme=scheme)
+        counts = p.counts()
+        assert counts.sum() == num_batch
+        # Balanced to within one entry.
+        assert counts.max() - counts.min() <= 1
+        # Scatter/gather is the identity.
+        data = np.arange(num_batch)
+        assert np.array_equal(p.gather(p.scatter(data)), data)
+
+
+class TestImbalance:
+    def test_perfect_for_divisible(self):
+        p = partition_batch(40, 8)
+        assert imbalance(p) == pytest.approx(1.0)
+
+    def test_counts_vs_work(self):
+        """Block partition of sorted work is count-balanced but
+        work-imbalanced; cyclic fixes it."""
+        work = np.concatenate([np.full(50, 10.0), np.full(50, 1.0)])
+        block = partition_batch(100, 2, scheme="block")
+        cyclic = partition_batch(100, 2, scheme="cyclic")
+        assert imbalance(block) == pytest.approx(1.0)
+        assert imbalance(block, work) > 1.5
+        assert imbalance(cyclic, work) == pytest.approx(1.0)
+
+    def test_length_validated(self):
+        p = partition_batch(10, 2)
+        with pytest.raises(ValueError):
+            imbalance(p, np.ones(9))

@@ -1,0 +1,77 @@
+"""Tests for the CPU (dgbsv) baseline cost model."""
+
+import numpy as np
+import pytest
+
+from repro.gpu import SKYLAKE_NODE, estimate_cpu_dgbsv, estimate_cpu_iterative
+
+
+class TestDgbsvModel:
+    def test_rounds_are_ceil(self):
+        est = estimate_cpu_dgbsv(SKYLAKE_NODE, 992, 33, 33, 39)
+        assert est.rounds == 2  # 39 systems over 38 cores
+
+    def test_single_round_flat(self):
+        """Within one round the makespan doesn't depend on the count."""
+        t1 = estimate_cpu_dgbsv(SKYLAKE_NODE, 992, 33, 33, 1).total_time_s
+        t38 = estimate_cpu_dgbsv(SKYLAKE_NODE, 992, 33, 33, 38).total_time_s
+        assert t1 == pytest.approx(t38)
+
+    def test_per_system_plausible_milliseconds(self):
+        """One dgbsv at n=992, kl=ku=33 lands in the 0.1-10 ms range —
+        the plausibility anchor for the whole Fig. 6 scale."""
+        est = estimate_cpu_dgbsv(SKYLAKE_NODE, 992, 33, 33, 1)
+        assert 1e-4 < est.per_system_s < 1e-2
+
+    def test_scales_with_bandwidth_squared(self):
+        narrow = estimate_cpu_dgbsv(SKYLAKE_NODE, 992, 5, 5, 38)
+        wide = estimate_cpu_dgbsv(SKYLAKE_NODE, 992, 50, 50, 38)
+        ratio = wide.per_system_s / narrow.per_system_s
+        assert 50 < ratio < 150  # ~ (kl*(kl+ku+1)) ratio ~ 92
+
+    def test_invalid_batch(self):
+        with pytest.raises(ValueError):
+            estimate_cpu_dgbsv(SKYLAKE_NODE, 992, 33, 33, 0)
+
+
+class TestCpuIterativeModel:
+    def test_round_robin_parity_trap(self):
+        """An alternating hard/easy pattern with an even core count lands
+        every hard system on the same cores: the makespan tracks the hard
+        systems, not the mean — a real static-scheduling pathology."""
+        its = np.tile([30, 4], 380)  # period 2 vs 38 cores
+        est = estimate_cpu_iterative(SKYLAKE_NODE, 992, 8554, its)
+        uniform = estimate_cpu_iterative(
+            SKYLAKE_NODE, 992, 8554, np.full(760, 17)
+        )
+        assert est.total_time_s == pytest.approx(
+            uniform.total_time_s * 30 / 17, rel=0.05
+        )
+
+    def test_shuffled_work_balances(self, ):
+        """Randomly ordered work balances to within a few percent."""
+        rng = np.random.default_rng(3)
+        its = rng.permutation(np.tile([30, 4], 380))
+        est = estimate_cpu_iterative(SKYLAKE_NODE, 992, 8554, its)
+        uniform = estimate_cpu_iterative(
+            SKYLAKE_NODE, 992, 8554, np.full(760, 17)
+        )
+        assert est.total_time_s < 1.35 * uniform.total_time_s
+
+    def test_scales_with_iterations(self):
+        fast = estimate_cpu_iterative(SKYLAKE_NODE, 992, 8554, np.full(76, 5))
+        slow = estimate_cpu_iterative(SKYLAKE_NODE, 992, 8554, np.full(76, 50))
+        assert slow.total_time_s == pytest.approx(10 * fast.total_time_s, rel=0.01)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            estimate_cpu_iterative(SKYLAKE_NODE, 992, 8554, np.array([]))
+
+    def test_direct_wins_on_cpu_for_this_problem(self):
+        """The paper's premise: dgbsv is the right CPU solver — a CPU
+        iterative solve at electron iteration counts is not clearly
+        better, which is why the GPU is needed at all."""
+        its = np.tile([32, 4], 380)
+        t_iter = estimate_cpu_iterative(SKYLAKE_NODE, 992, 8554, its).total_time_s
+        t_direct = estimate_cpu_dgbsv(SKYLAKE_NODE, 992, 33, 33, 760).total_time_s
+        assert t_iter > 0.2 * t_direct

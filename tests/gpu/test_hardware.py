@@ -1,0 +1,83 @@
+"""Tests for the hardware catalog (Table I values and derived policies)."""
+
+import pytest
+
+from repro.gpu import A100, GPUS, MI100, SKYLAKE_NODE, V100, GpuSpec
+
+KIB = 1024
+
+
+class TestTableI:
+    """The catalog must carry exactly the paper's Table I numbers."""
+
+    def test_a100(self):
+        assert A100.peak_fp64_tflops == 9.7
+        assert A100.mem_bw_gbs == 1555.0
+        assert A100.l1_shared_per_cu_kib == 192
+        assert A100.l2_mib == 40.0
+        assert A100.num_cus == 108
+
+    def test_v100(self):
+        assert V100.peak_fp64_tflops == 7.8
+        assert V100.mem_bw_gbs == 990.0
+        assert V100.l1_shared_per_cu_kib == 128
+        assert V100.l2_mib == 6.0
+        assert V100.num_cus == 80
+
+    def test_mi100(self):
+        assert MI100.peak_fp64_tflops == 11.5
+        assert MI100.mem_bw_gbs == 1230.0
+        assert MI100.l2_mib == 8.0
+        assert MI100.num_cus == 120
+        assert MI100.warp_size == 64  # AMD wavefront
+
+    def test_skylake(self):
+        assert SKYLAKE_NODE.num_sockets == 2
+        assert SKYLAKE_NODE.cores_per_socket == 20
+        assert SKYLAKE_NODE.total_cores == 40
+        assert SKYLAKE_NODE.cores_used == 38  # paper: 38 of 40
+        assert SKYLAKE_NODE.peak_fp64_tflops_per_socket == 1.0
+
+    def test_gpus_tuple(self):
+        assert GPUS == (V100, A100, MI100)
+
+
+class TestDerived:
+    def test_per_cu_peak(self):
+        assert V100.peak_fp64_per_cu == pytest.approx(7.8e12 / 80)
+
+    def test_per_cu_bandwidth(self):
+        assert MI100.mem_bw_per_cu == pytest.approx(1230e9 / 120)
+
+    def test_scheduling_policies(self):
+        """MI100 is the wave-dispatch machine (Fig. 6 staircase)."""
+        assert V100.scheduling == "flexible"
+        assert A100.scheduling == "flexible"
+        assert MI100.scheduling == "wave"
+
+    def test_shared_budget_v100(self):
+        """96 KiB configurable shared, two blocks per SM -> 48 KiB."""
+        assert V100.shared_budget_per_block() == 48 * KIB
+
+    def test_shared_budget_mi100_full_lds(self):
+        """One block per CU (observed dispatch granularity) -> whole LDS."""
+        assert MI100.shared_budget_per_block() == 64 * KIB
+
+    def test_shared_budget_override(self):
+        assert A100.shared_budget_per_block(4) == 41 * KIB
+        with pytest.raises(ValueError):
+            A100.shared_budget_per_block(0)
+
+    def test_cpu_effective_rate(self):
+        per_core = SKYLAKE_NODE.peak_fp64_per_core
+        assert per_core == pytest.approx(50e9)
+        assert SKYLAKE_NODE.effective_flops_per_core < per_core
+
+    def test_invalid_scheduling_rejected(self):
+        with pytest.raises(ValueError):
+            GpuSpec(
+                name="bad", peak_fp64_tflops=1, mem_bw_gbs=1,
+                l1_shared_per_cu_kib=64, l2_mib=1, num_cus=10,
+                warp_size=32, max_shared_per_block_kib=48,
+                scheduling="magic",
+            )

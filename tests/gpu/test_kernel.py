@@ -1,0 +1,96 @@
+"""Tests for the kernel operation-count models."""
+
+import pytest
+
+from repro.gpu import (
+    banded_lu_work,
+    banded_qr_work,
+    bicgstab_iteration_work,
+    bicgstab_setup_work,
+    spmv_work,
+    storage_for_solver,
+)
+
+
+class TestSpmvWork:
+    def test_flops_two_per_nonzero(self):
+        w = spmv_work(100, 900, "csr")
+        assert w.flops == 1800
+
+    def test_ell_padding_counts(self):
+        w = spmv_work(100, 850, "ell", stored_nnz=900)
+        assert w.flops == 1800  # padded entries are computed too
+        assert w.matrix_bytes == 900 * 8
+
+    def test_index_bytes_by_format(self):
+        csr = spmv_work(100, 900, "csr")
+        ell = spmv_work(100, 900, "ell")
+        assert csr.index_bytes == (900 + 101) * 4
+        assert ell.index_bytes == 900 * 4
+
+    def test_dense_has_no_index_traffic(self):
+        w = spmv_work(50, 0, "dense")
+        assert w.index_bytes == 0
+        assert w.flops == 2 * 50 * 50
+
+    def test_unknown_format(self):
+        with pytest.raises(ValueError):
+            spmv_work(10, 20, "coo")
+
+    def test_add_and_scale(self):
+        a = spmv_work(10, 50, "csr")
+        b = a + a
+        assert b.flops == 2 * a.flops
+        assert b.total_bytes == 2 * a.total_bytes
+        c = a.scaled(3.0)
+        assert c.matrix_bytes == 3 * a.matrix_bytes
+
+
+class TestBicgstabWork:
+    def test_two_spmvs_per_iteration(self):
+        storage = storage_for_solver("bicgstab", 992, 10**9)  # all shared
+        w = bicgstab_iteration_work(992, 8928, "ell", storage)
+        spmv = spmv_work(992, 8928, "ell")
+        assert w.matrix_bytes == 2 * spmv.matrix_bytes
+        assert w.flops > 2 * spmv.flops  # plus the vector ops
+
+    def test_spilled_vectors_cost_traffic(self):
+        all_shared = storage_for_solver("bicgstab", 992, 10**9)
+        none_shared = storage_for_solver("bicgstab", 992, 0)
+        w_fast = bicgstab_iteration_work(992, 8928, "ell", all_shared)
+        w_slow = bicgstab_iteration_work(992, 8928, "ell", none_shared)
+        assert w_fast.vector_bytes == 0
+        assert w_slow.vector_bytes > 0
+        assert w_slow.flops == w_fast.flops  # traffic differs, not work
+
+    def test_setup_includes_rhs(self):
+        w = bicgstab_setup_work(992, 8928, "ell")
+        assert w.rhs_bytes == 2 * 992 * 8
+
+
+class TestDirectWork:
+    def test_lu_flops_standard_count(self):
+        n, kl, ku = 992, 33, 33
+        w = banded_lu_work(n, kl, ku)
+        assert w.flops == pytest.approx(
+            2 * n * kl * (kl + ku + 1) + 2 * n * (2 * kl + ku)
+        )
+
+    def test_qr_costs_more_than_lu(self):
+        """Givens QR does ~3x the flops of LU on the same band."""
+        lu = banded_lu_work(992, 33, 33)
+        qr = banded_qr_work(992, 33, 33)
+        assert qr.flops > 2 * lu.flops
+
+    def test_work_scales_linearly_in_n(self):
+        w1 = banded_lu_work(500, 10, 10)
+        w2 = banded_lu_work(1000, 10, 10)
+        assert w2.flops == pytest.approx(2 * w1.flops)
+
+    def test_direct_dwarfs_iterative_for_wide_bands(self):
+        """The Fig. 6 argument: ~35 BiCGSTAB iterations cost far fewer
+        flops than one exact banded factorisation at kl = ku = 33."""
+        storage = storage_for_solver("bicgstab", 992, 10**9)
+        it = bicgstab_iteration_work(992, 8928, "ell", storage)
+        qr = banded_qr_work(992, 33, 33)
+        assert qr.flops > 35 * it.flops

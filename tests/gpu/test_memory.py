@@ -1,0 +1,131 @@
+"""Tests for the memory-hierarchy model."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gpu import A100, MI100, V100, KernelWork, estimate_memory
+
+
+def xgc_iteration_work(vector_bytes=0.0):
+    """Representative BiCGSTAB iteration traffic at paper size."""
+    return KernelWork(
+        flops=62_000,
+        matrix_bytes=2 * 8928 * 8,
+        index_bytes=2 * 8928 * 4,
+        vector_bytes=vector_bytes,
+    )
+
+
+def estimate(hw, work, *, smem=6 * 992 * 8, blocks=2, active=160, reuse=20.0):
+    return estimate_memory(
+        hw, work,
+        shared_bytes_per_block=smem,
+        blocks_per_cu=blocks,
+        active_systems=active,
+        reuse_passes=reuse,
+        unique_matrix_bytes=8928 * 8,
+        unique_index_bytes=8928 * 4,
+        unique_rhs_bytes=992 * 8,
+    )
+
+
+class TestHitRates:
+    def test_rates_are_probabilities(self):
+        for hw in (V100, A100, MI100):
+            m = estimate(hw, xgc_iteration_work())
+            assert 0.0 <= m.l1_hit_rate <= 1.0
+            assert 0.0 <= m.l2_hit_rate <= 1.0
+
+    def test_a100_l2_beats_v100(self):
+        """Table II direction: the A100's 40 MB L2 yields far higher L2
+        hit rates than the V100's 6 MB."""
+        v = estimate(V100, xgc_iteration_work(), active=160)
+        a = estimate(A100, xgc_iteration_work(), active=216)
+        assert a.l2_hit_rate > v.l2_hit_rate
+
+    def test_compulsory_misses_only_for_single_read(self):
+        """When the traffic equals the unique set (one SpMV, one pass),
+        every access is a compulsory miss: no L1 hits possible."""
+        single_read = KernelWork(
+            flops=2 * 8928,
+            matrix_bytes=8928 * 8,
+            index_bytes=8928 * 4,
+        )
+        m = estimate_memory(
+            V100, single_read,
+            shared_bytes_per_block=0, blocks_per_cu=2,
+            active_systems=160, reuse_passes=1.0,
+        )
+        assert m.l1_hit_rate == 0.0
+
+    def test_intra_iteration_reuse_hits_l1(self):
+        """One BiCGSTAB iteration reads the matrix twice (2 SpMVs): the
+        second read can hit even at reuse_passes = 1."""
+        m = estimate(A100, xgc_iteration_work(), reuse=1.0)
+        assert m.l1_hit_rate > 0.0
+
+    def test_more_reuse_more_l1_hits(self):
+        lo = estimate(A100, xgc_iteration_work(), reuse=2.0)
+        hi = estimate(A100, xgc_iteration_work(), reuse=40.0)
+        assert hi.l1_hit_rate >= lo.l1_hit_rate
+
+    def test_spilled_vectors_lower_l1_rate(self):
+        clean = estimate(V100, xgc_iteration_work(0.0))
+        spilled = estimate(V100, xgc_iteration_work(3 * 3 * 992 * 8))
+        assert spilled.l1_hit_rate < clean.l1_hit_rate
+
+    def test_shared_memory_pressure_lowers_l1(self):
+        roomy = estimate(A100, xgc_iteration_work(), smem=0)
+        tight = estimate(A100, xgc_iteration_work(), smem=80 * 1024)
+        assert tight.l1_hit_rate <= roomy.l1_hit_rate
+
+
+class TestTraffic:
+    def test_byte_conservation(self):
+        """Per-pass split accounts for all traffic: L1 hits + L2 + HBM."""
+        m = estimate(V100, xgc_iteration_work(100.0))
+        served_below_l1 = m.l2_bytes + m.hbm_bytes
+        expected_misses = m.total_bytes * (1.0 - m.l1_hit_rate)
+        assert served_below_l1 == pytest.approx(expected_misses, rel=1e-9)
+
+    def test_memory_time_positive_and_ordered(self):
+        m = estimate(V100, xgc_iteration_work())
+        assert m.memory_time(V100) > 0
+        # All-HBM traffic is slower than the same bytes through L2.
+        all_hbm = type(m)(
+            l1_hit_rate=0, l2_hit_rate=0,
+            hbm_bytes=m.hbm_bytes + m.l2_bytes, l2_bytes=0,
+            total_bytes=m.total_bytes,
+        )
+        assert all_hbm.memory_time(V100) > m.memory_time(V100)
+
+    def test_more_active_systems_more_hbm(self):
+        """L2 pressure grows with concurrently resident systems."""
+        few = estimate(V100, xgc_iteration_work(), active=40)
+        many = estimate(V100, xgc_iteration_work(), active=160)
+        assert many.hbm_bytes >= few.hbm_bytes
+
+    def test_validation(self):
+        w = xgc_iteration_work()
+        with pytest.raises(ValueError):
+            estimate(V100, w, reuse=0.5)
+        with pytest.raises(ValueError):
+            estimate(V100, w, active=0)
+
+
+class TestProperties:
+    @given(
+        reuse=st.floats(1.0, 100.0),
+        active=st.integers(1, 500),
+        vec=st.floats(0.0, 1e6),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_split_is_consistent(self, reuse, active, vec):
+        w = xgc_iteration_work(vec)
+        m = estimate(A100, w, reuse=reuse, active=active)
+        assert m.hbm_bytes >= 0
+        assert m.l2_bytes >= 0
+        assert m.hbm_bytes + m.l2_bytes <= m.total_bytes * (1 + 1e-9)
+        assert 0 <= m.l1_hit_rate <= 1
+        assert 0 <= m.l2_hit_rate <= 1

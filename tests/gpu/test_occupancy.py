@@ -1,0 +1,53 @@
+"""Tests for the occupancy model."""
+
+import pytest
+
+from repro.gpu import A100, MI100, V100, compute_occupancy
+
+KIB = 1024
+
+
+class TestComputeOccupancy:
+    def test_paper_v100_two_blocks(self):
+        """6 vectors of n=992 in shared (~46.5 KiB) -> 2 blocks per SM."""
+        occ = compute_occupancy(V100, 6 * 992 * 8, 992)
+        assert occ.blocks_per_cu == 2
+        assert occ.total_slots == 160
+        assert occ.limiter == "shared-memory"
+
+    def test_mi100_one_block(self):
+        """8 vectors (~62 KiB) in the 64 KiB LDS -> 1 block per CU, which
+        is what produces the 120-wide staircase of Fig. 6."""
+        occ = compute_occupancy(MI100, 8 * 992 * 8, 992)
+        assert occ.blocks_per_cu == 1
+        assert occ.total_slots == 120
+
+    def test_no_shared_limited_by_threads(self):
+        occ = compute_occupancy(A100, 0, 992)
+        assert occ.limiter in ("threads", "block-cap")
+        assert occ.blocks_per_cu == 2  # 2048 / 1024 (992 rounded to warps)
+
+    def test_small_blocks_hit_cap(self):
+        occ = compute_occupancy(A100, 0, 32)
+        assert occ.blocks_per_cu == 32
+        assert occ.limiter == "block-cap"
+
+    def test_oversized_request_rejected(self):
+        with pytest.raises(ValueError):
+            compute_occupancy(V100, 200 * KIB, 992)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            compute_occupancy(V100, 0, 0)
+        with pytest.raises(ValueError):
+            compute_occupancy(V100, -5, 32)
+
+    def test_at_least_one_block(self):
+        """A maximal request still leaves one resident block."""
+        occ = compute_occupancy(V100, 96 * KIB, 2048)
+        assert occ.blocks_per_cu == 1
+
+    def test_more_shared_means_fewer_blocks(self):
+        lo = compute_occupancy(A100, 20 * KIB, 256)
+        hi = compute_occupancy(A100, 80 * KIB, 256)
+        assert hi.blocks_per_cu <= lo.blocks_per_cu

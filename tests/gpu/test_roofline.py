@@ -1,0 +1,82 @@
+"""Tests for the roofline analysis."""
+
+import pytest
+
+from repro.gpu import (
+    A100,
+    V100,
+    KernelWork,
+    analyze_kernel,
+    format_roofline,
+    solver_roofline_report,
+    spmv_work,
+)
+
+
+class TestAnalyzeKernel:
+    def test_memory_bound_below_balance(self):
+        w = KernelWork(flops=100.0, matrix_bytes=1000.0)
+        p = analyze_kernel(V100, "low-ai", w)
+        assert p.bound == "memory"
+        assert p.intensity == pytest.approx(0.1)
+        assert p.attainable_gflops < V100.peak_fp64_tflops * 1e3
+
+    def test_compute_bound_above_balance(self):
+        w = KernelWork(flops=1e9, matrix_bytes=8.0)
+        p = analyze_kernel(V100, "high-ai", w)
+        assert p.bound == "compute"
+        assert p.peak_fraction == pytest.approx(1.0)
+
+    def test_machine_balance_value(self):
+        p = analyze_kernel(V100, "x", KernelWork(flops=1.0, matrix_bytes=1.0))
+        expected = 7.8e12 / (990e9 * V100.bw_efficiency)
+        assert p.machine_balance == pytest.approx(expected)
+
+    def test_effective_bytes_override(self):
+        w = spmv_work(992, 8554, "ell")
+        raw = analyze_kernel(A100, "spmv", w)
+        cached = analyze_kernel(A100, "spmv", w, effective_bytes=w.total_bytes / 10)
+        assert cached.intensity == pytest.approx(10 * raw.intensity)
+        assert cached.attainable_gflops > raw.attainable_gflops
+
+
+class TestSolverReport:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return solver_roofline_report(
+            A100, 992, 8554, stored_nnz=9 * 992, kl=33, ku=33
+        )
+
+    def test_covers_the_comparison(self, report):
+        names = [p.name for p in report]
+        assert any("spmv-csr" in n for n in names)
+        assert any("spmv-ell" in n for n in names)
+        assert any("bicgstab" in n for n in names)
+        assert any("banded-qr" in n for n in names)
+        assert any("dense-lu" in n for n in names)
+
+    def test_spmv_is_memory_bound(self, report):
+        """The paper's design premise: the workhorse kernel is
+        bandwidth-limited, so formats/caching are what matter."""
+        for p in report:
+            if p.name.startswith("spmv"):
+                assert p.bound == "memory"
+                assert p.peak_fraction < 0.1
+
+    def test_dense_lu_is_compute_bound(self, report):
+        """And the flip side: direct factorisations burn flops — they run
+        near peak and still lose, because the flops are unnecessary."""
+        dense = next(p for p in report if p.name == "dense-lu")
+        assert dense.bound == "compute"
+
+    def test_caching_raises_intensity(self, report):
+        """The fused kernel's post-cache intensity beats the raw SpMV's —
+        the quantitative version of §IV-C's keep-data-close argument."""
+        spmv = next(p for p in report if p.name == "spmv-ell")
+        it = next(p for p in report if "bicgstab" in p.name)
+        assert it.intensity > spmv.intensity
+
+    def test_formatting(self, report):
+        text = format_roofline(report)
+        assert "flop/byte" in text
+        assert len(text.splitlines()) == len(report) + 1

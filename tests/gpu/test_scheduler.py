@@ -1,0 +1,103 @@
+"""Tests for the thread-block scheduling model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gpu import (
+    MI100,
+    V100,
+    compute_occupancy,
+    flexible_makespan,
+    schedule_blocks,
+    wave_makespan,
+)
+
+
+class TestWaveMakespan:
+    def test_single_wave_is_max(self):
+        t = np.array([1.0, 3.0, 2.0])
+        assert wave_makespan(t, 4) == 3.0
+
+    def test_two_waves_sum_of_maxima(self):
+        t = np.array([1.0, 3.0, 2.0, 5.0])
+        assert wave_makespan(t, 2) == 3.0 + 5.0
+
+    def test_staircase_at_slot_multiples(self):
+        """The Fig. 6 MI100 signature: one extra block beyond a multiple of
+        the slot count adds a whole wave."""
+        slots = 120
+        t_flat = np.ones(slots)
+        assert wave_makespan(t_flat, slots) == 1.0
+        assert wave_makespan(np.ones(slots + 1), slots) == 2.0
+        assert wave_makespan(np.ones(2 * slots), slots) == 2.0
+
+    def test_empty(self):
+        assert wave_makespan(np.array([]), 8) == 0.0
+
+    def test_invalid_slots(self):
+        with pytest.raises(ValueError):
+            wave_makespan(np.ones(3), 0)
+
+
+class TestFlexibleMakespan:
+    def test_fits_in_slots(self):
+        t = np.array([1.0, 2.0])
+        assert flexible_makespan(t, 4) == 2.0
+
+    def test_backfills_short_blocks(self):
+        """One long and many short blocks on 2 slots: the shorts all queue
+        behind each other, not behind the long one."""
+        t = np.array([10.0, 1.0, 1.0, 1.0, 1.0, 1.0])
+        assert flexible_makespan(t, 2) == 10.0  # shorts fit alongside
+
+    def test_no_staircase(self):
+        """Adding one block to a full wave grows the makespan by much less
+        than a whole wave when block times vary (Fig. 6 V100 smoothness)."""
+        rng = np.random.default_rng(0)
+        slots = 80
+        t = rng.uniform(0.5, 2.0, slots)
+        t_plus = np.concatenate([t, [0.5]])
+        grow = flexible_makespan(t_plus, slots) - flexible_makespan(t, slots)
+        assert grow < 0.51  # at most the small block, placed on min slot
+
+    def test_empty(self):
+        assert flexible_makespan(np.array([]), 8) == 0.0
+
+
+class TestScheduleBlocks:
+    def test_dispatch_policy_by_gpu(self):
+        t = np.ones(250)
+        occ_v = compute_occupancy(V100, 6 * 992 * 8, 992)
+        occ_m = compute_occupancy(MI100, 8 * 992 * 8, 992)
+        # MI100 wave: ceil(250/120)=3 waves of max 1.0 -> 3.0
+        assert schedule_blocks(MI100, occ_m, t) == pytest.approx(3.0)
+        # V100 flexible: 250 blocks over 160 slots, equal times -> 2.0
+        assert schedule_blocks(V100, occ_v, t) == pytest.approx(2.0)
+
+    @given(
+        times=st.lists(st.floats(0.01, 10.0), min_size=1, max_size=200),
+        slots=st.integers(1, 64),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_bounds(self, times, slots):
+        """Both schedulers respect the fundamental makespan bounds, and
+        flexible dispatch never loses to wave dispatch."""
+        t = np.array(times)
+        lower = max(t.max(), t.sum() / slots)
+        for fn in (wave_makespan, flexible_makespan):
+            ms = fn(t, slots)
+            assert ms >= lower - 1e-9
+            assert ms <= t.sum() + 1e-9
+        assert flexible_makespan(t, slots) <= wave_makespan(t, slots) + 1e-9
+
+    @given(
+        times=st.lists(st.floats(0.01, 10.0), min_size=1, max_size=100),
+        slots=st.integers(1, 32),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_more_slots_never_hurt(self, times, slots):
+        t = np.array(times)
+        assert flexible_makespan(t, slots + 1) <= flexible_makespan(t, slots) + 1e-9
+        assert wave_makespan(t, slots * 2) <= wave_makespan(t, slots) + 1e-9

@@ -1,0 +1,188 @@
+"""Tests for the end-to-end solve-time model — the Fig. 6/7 claims."""
+
+import numpy as np
+import pytest
+
+from repro.gpu import (
+    A100,
+    GPUS,
+    MI100,
+    SKYLAKE_NODE,
+    V100,
+    estimate_cpu_dgbsv,
+    estimate_direct_qr,
+    estimate_iterative_solve,
+    estimate_spmv,
+)
+
+N, NNZ, STORED_ELL = 992, 8554, 9 * 992
+KL = KU = 33
+
+
+def mixed_iterations(nb, e=32, i=4):
+    """Alternating electron/ion iteration counts (the paper's batches)."""
+    return np.tile([e, i], nb // 2 + 1)[:nb]
+
+
+class TestIterativeSolveModel:
+    def test_ell_faster_than_csr_everywhere(self):
+        """Fig. 6: 'BatchEll is significantly faster' on all GPUs."""
+        its = mixed_iterations(960)
+        for hw in GPUS:
+            t_csr = estimate_iterative_solve(hw, "csr", N, NNZ, its).total_time_s
+            t_ell = estimate_iterative_solve(
+                hw, "ell", N, NNZ, its, stored_nnz=STORED_ELL
+            ).total_time_s
+            assert t_ell < t_csr, hw.name
+
+    def test_a100_fastest_gpu(self):
+        its = mixed_iterations(960)
+        times = {
+            hw.name: estimate_iterative_solve(
+                hw, "ell", N, NNZ, its, stored_nnz=STORED_ELL
+            ).total_time_s
+            for hw in GPUS
+        }
+        assert times["A100"] == min(times.values())
+
+    def test_total_time_grows_with_batch(self):
+        t_prev = 0.0
+        for nb in (120, 480, 1920):
+            t = estimate_iterative_solve(
+                A100, "ell", N, NNZ, mixed_iterations(nb), stored_nnz=STORED_ELL
+            ).total_time_s
+            assert t > t_prev
+            t_prev = t
+
+    def test_per_entry_time_decreases_with_batch(self):
+        """Fig. 6 right panel: amortisation saturates the GPU."""
+        small = estimate_iterative_solve(
+            V100, "ell", N, NNZ, mixed_iterations(60), stored_nnz=STORED_ELL
+        )
+        large = estimate_iterative_solve(
+            V100, "ell", N, NNZ, mixed_iterations(3840), stored_nnz=STORED_ELL
+        )
+        assert large.per_entry_time_s < small.per_entry_time_s
+
+    def test_mi100_staircase_at_120(self):
+        """Fig. 6: 'discrete jumps at multiples of 120'."""
+        def t(nb):
+            return estimate_iterative_solve(
+                MI100, "ell", N, NNZ, mixed_iterations(nb),
+                stored_nnz=STORED_ELL,
+            ).total_time_s
+
+        flat = t(239) - t(125)  # within one wave band
+        jump = t(125) - t(119)  # crossing the 120 boundary
+        assert jump > 5 * max(flat, 1e-12)
+
+    def test_v100_smooth_no_staircase(self):
+        def t(nb):
+            return estimate_iterative_solve(
+                V100, "ell", N, NNZ, mixed_iterations(nb),
+                stored_nnz=STORED_ELL,
+            ).total_time_s
+
+        jump = t(161) - t(159)  # crossing the 160-slot boundary
+        assert jump < 0.2 * t(159)
+
+    def test_iterations_drive_time(self):
+        fast = estimate_iterative_solve(
+            A100, "ell", N, NNZ, np.full(960, 5), stored_nnz=STORED_ELL
+        ).total_time_s
+        slow = estimate_iterative_solve(
+            A100, "ell", N, NNZ, np.full(960, 35), stored_nnz=STORED_ELL
+        ).total_time_s
+        assert slow > 3 * fast
+
+    def test_storage_config_in_estimate(self):
+        est = estimate_iterative_solve(
+            V100, "ell", N, NNZ, mixed_iterations(240), stored_nnz=STORED_ELL
+        )
+        assert est.storage.num_shared == 6  # the paper's V100 outcome
+        est_mi = estimate_iterative_solve(
+            MI100, "ell", N, NNZ, mixed_iterations(240), stored_nnz=STORED_ELL
+        )
+        assert est_mi.storage.num_shared == 8  # full 64 KiB LDS
+
+
+class TestBaselineModels:
+    def test_qr_not_competitive(self):
+        """Fig. 6: the batched direct QR is ~10-30x slower than BiCGSTAB
+        with CSR on the same (V100) hardware."""
+        nb = 1920
+        t_qr = estimate_direct_qr(V100, N, KL, KU, nb).total_time_s
+        t_csr = estimate_iterative_solve(
+            V100, "csr", N, NNZ, mixed_iterations(nb)
+        ).total_time_s
+        assert 8 <= t_qr / t_csr <= 40
+
+    def test_cpu_beats_mi100_csr(self):
+        """Fig. 6: 'It [Skylake dgbsv] outperforms ... our batched
+        BiCGStab with BatchCsr format on the MI100 GPU'."""
+        nb = 1920
+        t_cpu = estimate_cpu_dgbsv(SKYLAKE_NODE, N, KL, KU, nb).total_time_s
+        t_mi_csr = estimate_iterative_solve(
+            MI100, "csr", N, NNZ, mixed_iterations(nb)
+        ).total_time_s
+        assert t_cpu < t_mi_csr
+
+    def test_cpu_beats_v100_qr(self):
+        nb = 1920
+        t_cpu = estimate_cpu_dgbsv(SKYLAKE_NODE, N, KL, KU, nb).total_time_s
+        t_qr = estimate_direct_qr(V100, N, KL, KU, nb).total_time_s
+        assert t_cpu < t_qr
+
+    def test_nvidia_csr_beats_cpu(self):
+        """Fig. 6: 'batched BiCGStab with BatchCsr on NVIDIA GPUs is able
+        to outperform dgbsv on Skylake'."""
+        nb = 1920
+        t_cpu = estimate_cpu_dgbsv(SKYLAKE_NODE, N, KL, KU, nb).total_time_s
+        for hw in (V100, A100):
+            t = estimate_iterative_solve(
+                hw, "csr", N, NNZ, mixed_iterations(nb)
+            ).total_time_s
+            assert t < t_cpu, hw.name
+
+    def test_all_ell_gpus_beat_cpu_by_4x_to_25x(self):
+        """Fig. 9 band: ELL-format GPU solves are several times faster
+        than the CPU baseline."""
+        nb = 1920
+        t_cpu = estimate_cpu_dgbsv(SKYLAKE_NODE, N, KL, KU, nb).total_time_s
+        for hw in GPUS:
+            t = estimate_iterative_solve(
+                hw, "ell", N, NNZ, mixed_iterations(nb), stored_nnz=STORED_ELL
+            ).total_time_s
+            assert 3.0 < t_cpu / t < 30.0, hw.name
+
+    def test_cpu_scales_with_rounds(self):
+        t38 = estimate_cpu_dgbsv(SKYLAKE_NODE, N, KL, KU, 38)
+        t76 = estimate_cpu_dgbsv(SKYLAKE_NODE, N, KL, KU, 76)
+        assert t76.total_time_s == pytest.approx(2 * t38.total_time_s)
+        assert t38.rounds == 1 and t76.rounds == 2
+
+
+class TestSpmvModel:
+    def test_ell_spmv_faster_on_a100(self):
+        """Fig. 7: ELL is the superior SpMV format on the A100."""
+        for nb in (120, 960, 3840):
+            t_csr = estimate_spmv(A100, "csr", N, NNZ, nb).total_time_s
+            t_ell = estimate_spmv(
+                A100, "ell", N, NNZ, nb, stored_nnz=STORED_ELL
+            ).total_time_s
+            assert t_ell < t_csr
+
+    def test_spmv_time_increases_with_batch(self):
+        t1 = estimate_spmv(A100, "ell", N, NNZ, 240).total_time_s
+        t2 = estimate_spmv(A100, "ell", N, NNZ, 2400).total_time_s
+        assert t2 > t1
+
+    def test_spmv_much_cheaper_than_solve(self):
+        nb = 960
+        t_spmv = estimate_spmv(
+            A100, "ell", N, NNZ, nb, stored_nnz=STORED_ELL
+        ).total_time_s
+        t_solve = estimate_iterative_solve(
+            A100, "ell", N, NNZ, mixed_iterations(nb), stored_nnz=STORED_ELL
+        ).total_time_s
+        assert t_solve > 5 * t_spmv

@@ -1,0 +1,110 @@
+"""Tests for the schedule traces (text Gantt of block dispatch)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gpu import (
+    MI100,
+    V100,
+    Occupancy,
+    render_gantt,
+    schedule_blocks,
+    trace_schedule,
+)
+
+
+def small_occ(slots=4):
+    return Occupancy(blocks_per_cu=1, total_slots=slots, limiter="shared-memory")
+
+
+@pytest.fixture
+def mixed_times():
+    """Electron/ion-like alternating block durations."""
+    return np.tile([0.9, 0.12], 10)
+
+
+class TestTraceSchedule:
+    def test_makespan_matches_scheduler(self, mixed_times):
+        occ = small_occ()
+        for hw in (MI100, V100):
+            tr = trace_schedule(hw, occ, mixed_times)
+            assert tr.makespan == pytest.approx(
+                schedule_blocks(hw, occ, mixed_times)
+            )
+
+    def test_every_block_scheduled_once(self, mixed_times):
+        tr = trace_schedule(V100, small_occ(), mixed_times)
+        assert sorted(b.block for b in tr.blocks) == list(range(20))
+
+    def test_durations_preserved(self, mixed_times):
+        tr = trace_schedule(V100, small_occ(), mixed_times)
+        for b in tr.blocks:
+            assert b.end - b.start == pytest.approx(mixed_times[b.block])
+
+    def test_no_slot_overlap(self, mixed_times):
+        for hw in (MI100, V100):
+            tr = trace_schedule(hw, small_occ(), mixed_times)
+            by_slot = {}
+            for b in tr.blocks:
+                by_slot.setdefault(b.slot, []).append((b.start, b.end))
+            for intervals in by_slot.values():
+                intervals.sort()
+                for (s0, e0), (s1, e1) in zip(intervals, intervals[1:]):
+                    assert s1 >= e0 - 1e-12
+
+    def test_wave_barriers(self, mixed_times):
+        """In a wave schedule no block of wave k+1 starts before every
+        block of wave k has finished."""
+        slots = 4
+        tr = trace_schedule(MI100, small_occ(slots), mixed_times)
+        waves = {}
+        for b in tr.blocks:
+            waves.setdefault(b.block // slots, []).append(b)
+        for w in range(len(waves) - 1):
+            end_of_wave = max(b.end for b in waves[w])
+            start_of_next = min(b.start for b in waves[w + 1])
+            assert start_of_next >= end_of_wave - 1e-12
+
+    def test_flexible_backfills_better(self, mixed_times):
+        """The paper's Fig. 6 mechanism, as a utilisation statement."""
+        occ = small_occ()
+        u_wave = trace_schedule(MI100, occ, mixed_times).utilization
+        u_flex = trace_schedule(V100, occ, mixed_times).utilization
+        assert u_flex > u_wave + 0.1
+
+    @given(
+        times=st.lists(st.floats(0.01, 5.0), min_size=1, max_size=60),
+        slots=st.integers(1, 16),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_trace_invariants(self, times, slots):
+        t = np.array(times)
+        occ = small_occ(slots)
+        for hw in (MI100, V100):
+            tr = trace_schedule(hw, occ, t)
+            assert len(tr.blocks) == t.size
+            assert 0 < tr.utilization <= 1.0 + 1e-12
+            assert tr.slot_busy_time().sum() == pytest.approx(t.sum())
+            assert tr.makespan == pytest.approx(
+                schedule_blocks(hw, occ, t)
+            )
+
+
+class TestRenderGantt:
+    def test_renders_rows_per_slot(self, mixed_times):
+        tr = trace_schedule(V100, small_occ(4), mixed_times)
+        text = render_gantt(tr, width=50)
+        lines = text.splitlines()
+        assert len(lines) == 1 + 4
+        assert "flexible" in lines[0]
+
+    def test_truncates_slots(self, mixed_times):
+        tr = trace_schedule(V100, small_occ(8), mixed_times)
+        text = render_gantt(tr, max_slots=3)
+        assert "more slots" in text
+
+    def test_empty_schedule(self):
+        tr = trace_schedule(V100, small_occ(2), np.array([]))
+        assert render_gantt(tr) == "(empty schedule)"

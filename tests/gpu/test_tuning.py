@@ -1,0 +1,111 @@
+"""Tests for the automatic tuning strategy (paper contribution #3)."""
+
+import pytest
+
+from repro.core import BatchCsr
+from repro.gpu import A100, MI100, V100, tune_batched_solver, tune_for_matrix
+from repro.gpu.tuning import FUSED_ROW_LIMIT, MAX_THREADS_PER_BLOCK
+
+import numpy as np
+
+
+class TestFormatChoice:
+    def test_xgc_matrices_select_ell(self, paper_app):
+        """The paper's matrices (9-pt stencil, short boundary rows) must
+        land on ELL — the format every headline result uses."""
+        matrix, _ = paper_app.build_matrices()
+        for hw in (V100, A100, MI100):
+            assert tune_for_matrix(hw, matrix).fmt == "ell"
+
+    def test_uniform_rows_select_ell(self):
+        d = tune_batched_solver(V100, 1000, 9, 9)
+        assert d.fmt == "ell"
+        assert "near-uniform" in d.rationale["format"]
+
+    def test_wildly_irregular_rows_select_csr(self):
+        d = tune_batched_solver(V100, 1000, 1, 200)
+        assert d.fmt == "csr"
+
+    def test_exact_padding_overrides_worst_case(self):
+        """min/max alone says 1-4/9 = 56% padding (CSR); the true
+        distribution says 4% (ELL)."""
+        worst = tune_batched_solver(V100, 992, 4, 9)
+        exact = tune_batched_solver(V100, 992, 4, 9, padding_fraction=0.04)
+        assert worst.fmt == "csr"
+        assert exact.fmt == "ell"
+
+    def test_invalid_padding(self):
+        with pytest.raises(ValueError):
+            tune_batched_solver(V100, 10, 1, 2, padding_fraction=1.5)
+
+
+class TestThreadSizing:
+    def test_threads_proportional_to_rows(self):
+        d = tune_batched_solver(V100, 992, 9, 9)
+        assert d.threads_per_block == 992  # 31 warps exactly
+        assert d.rows_per_thread == 1
+
+    def test_warp_granularity(self):
+        d = tune_batched_solver(V100, 100, 5, 5)
+        assert d.threads_per_block == 128  # 100 -> 4 warps
+        d64 = tune_batched_solver(MI100, 100, 5, 5)
+        assert d64.threads_per_block == 128  # 2 wavefronts of 64
+
+    def test_large_systems_fold_rows(self):
+        d = tune_batched_solver(A100, 5000, 9, 9)
+        assert d.threads_per_block <= MAX_THREADS_PER_BLOCK
+        assert d.rows_per_thread == 5
+        assert d.rows_per_thread * d.threads_per_block >= 5000
+
+    def test_tiny_system(self):
+        d = tune_batched_solver(V100, 3, 2, 2)
+        assert d.threads_per_block == 32  # one warp minimum
+
+
+class TestSharedMemory:
+    def test_paper_v100_placement(self):
+        d = tune_batched_solver(V100, 992, 9, 9)
+        assert d.storage.num_shared == 6
+        assert d.occupancy.blocks_per_cu == 2
+
+    def test_mi100_full_lds(self):
+        d = tune_batched_solver(MI100, 992, 9, 9)
+        assert d.storage.num_shared == 8
+        assert d.occupancy.blocks_per_cu == 1
+
+    def test_huge_system_spills_everything(self):
+        d = tune_batched_solver(V100, 200_000, 9, 9)
+        assert d.storage.num_shared == 0
+        assert "spill" in d.rationale["shared"]
+
+    def test_gmres_vectors_accounted(self):
+        d = tune_batched_solver(V100, 992, 9, 9, solver="gmres")
+        # 30+1 basis vectors + r + x: only a few fit in 48 KiB.
+        assert d.storage.num_vectors == 33
+        assert d.storage.num_shared == 6
+
+
+class TestKernelPath:
+    def test_small_systems_fuse(self):
+        assert tune_batched_solver(V100, 992, 9, 9).fused_kernel
+
+    def test_large_systems_use_component_kernels(self):
+        d = tune_batched_solver(V100, FUSED_ROW_LIMIT + 1, 9, 9)
+        assert not d.fused_kernel
+
+
+class TestTuneForMatrix:
+    def test_reads_pattern_from_matrix(self, rng):
+        n = 64
+        dense = rng.standard_normal((2, n, n)) * (rng.random((1, n, n)) < 0.1)
+        dense += np.eye(n) * (np.abs(dense).sum(axis=2, keepdims=True) + 1)
+        m = BatchCsr.from_dense(dense)
+        d = tune_for_matrix(A100, m)
+        assert d.fmt in ("csr", "ell")
+        assert d.threads_per_block >= 64
+
+    def test_rejects_invalid(self):
+        with pytest.raises(ValueError):
+            tune_batched_solver(V100, 0, 1, 1)
+        with pytest.raises(ValueError):
+            tune_batched_solver(V100, 10, 5, 2)

@@ -1,0 +1,91 @@
+"""Tests for the warp/wavefront utilisation model."""
+
+import pytest
+
+from repro.gpu import (
+    A100,
+    MI100,
+    V100,
+    csr_spmv_utilization,
+    ell_spmv_utilization,
+    solver_utilization,
+    spmv_utilization,
+)
+
+
+class TestCsrUtilization:
+    def test_nine_nnz_underfills_warp32(self):
+        """Paper: with 9 nnz/row only a fraction of a 32-lane warp works."""
+        u = csr_spmv_utilization(9, 32)
+        assert u < 0.3
+
+    def test_wavefront64_worse(self):
+        """Paper: 'exacerbated in the AMD GPUs which have a wavefront size
+        of 64'."""
+        assert csr_spmv_utilization(9, 64) < csr_spmv_utilization(9, 32)
+
+    def test_full_row_much_better_than_short_row(self):
+        """A full 32-nnz row keeps the load phase saturated (the tree
+        reduction still idles lanes, so the ceiling stays below 0.5)."""
+        assert csr_spmv_utilization(32, 32) > 2 * csr_spmv_utilization(9, 32)
+
+    def test_first_reduction_stage_five_lanes(self):
+        """Paper: 'only 5 threads (9 divided by 2, rounded up) active in
+        the first reduction stage' — the model's stage list starts there."""
+        # With 9 active lanes the reduction stages are 5, 3, 2, 1.
+        u = csr_spmv_utilization(9, 32)
+        expected = (9 + 5 + 3 + 2 + 1) / (5 * 32)
+        assert u == pytest.approx(expected)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            csr_spmv_utilization(0, 32)
+
+
+class TestEllUtilization:
+    def test_992_rows_fill_warp32_exactly(self):
+        """992 = 31 warps of 32: perfect fill."""
+        assert ell_spmv_utilization(992, 32) == 1.0
+
+    def test_992_rows_on_wavefront64(self):
+        """992 = 15.5 wavefronts of 64: half of the last one idles."""
+        assert ell_spmv_utilization(992, 64) == pytest.approx(992 / (16 * 64))
+
+    def test_partial_last_warp(self):
+        assert ell_spmv_utilization(33, 32) == pytest.approx(33 / 64)
+
+    def test_always_beats_csr_for_few_nnz(self):
+        for warp in (32, 64):
+            assert ell_spmv_utilization(992, warp) > csr_spmv_utilization(9, warp)
+
+
+class TestSolverUtilization:
+    @pytest.mark.parametrize("hw", [V100, A100, MI100])
+    def test_ell_above_csr_everywhere(self, hw):
+        """Table II ordering: ELL > CSR on every platform."""
+        u_ell = solver_utilization("ell", 992, 9, hw)
+        u_csr = solver_utilization("csr", 992, 9, hw)
+        assert u_ell > u_csr
+
+    def test_mi100_csr_is_the_worst(self):
+        """Table II: MI100 CSR has the lowest wavefront use (52%)."""
+        vals = {
+            hw.name: solver_utilization("csr", 992, 9, hw)
+            for hw in (V100, A100, MI100)
+        }
+        assert vals["MI100"] == min(vals.values())
+
+    def test_ell_utilisation_high(self):
+        """Table II: ELL utilisation 94-98% on all platforms."""
+        for hw in (V100, A100, MI100):
+            assert solver_utilization("ell", 992, 9, hw) > 0.9
+
+    def test_spmv_fraction_bounds(self):
+        with pytest.raises(ValueError):
+            solver_utilization("ell", 992, 9, V100, spmv_time_fraction=1.5)
+
+    def test_dispatch(self):
+        assert spmv_utilization("csr", 992, 9, V100) == csr_spmv_utilization(9, 32)
+        assert spmv_utilization("ell", 992, 9, V100) == ell_spmv_utilization(992, 32)
+        with pytest.raises(ValueError):
+            spmv_utilization("coo", 992, 9, V100)

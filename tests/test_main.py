@@ -1,0 +1,40 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestCli:
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "repro" in out
+        assert "V100" in out and "A100" in out and "MI100" in out
+        assert "38 used for dgbsv" in out
+
+    def test_demo_small(self, capsys):
+        assert main(["demo", "--nodes", "1", "--batch", "240"]) == 0
+        out = capsys.readouterr().out
+        assert "converged=True" in out
+        assert "Skylake" in out
+
+    def test_picard_small(self, capsys):
+        assert main(["picard", "--nodes", "1", "--steps", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "electron" in out
+        assert "conservation drifts" in out
+
+    def test_tune(self, capsys):
+        assert main(["tune"]) == 0
+        out = capsys.readouterr().out
+        assert "format=ell" in out
+        assert "fused" in out
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+    def test_no_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,85 @@
+"""Tests for the banded storage utilities."""
+
+import numpy as np
+import pytest
+from scipy.linalg import solve_banded
+
+from repro.core import BatchCsr
+from repro.utils import BatchBanded, Bandwidths, csr_to_banded, detect_bandwidths
+
+from ..core.test_direct_banded import random_banded_dense
+
+
+class TestDetectBandwidths:
+    @pytest.mark.parametrize("kl,ku", [(0, 0), (1, 1), (3, 1), (0, 4)])
+    def test_detects_exact_bandwidths(self, rng, kl, ku):
+        dense = random_banded_dense(rng, 2, 12, kl, ku)
+        bw = detect_bandwidths(BatchCsr.from_dense(dense))
+        assert (bw.kl, bw.ku) == (kl, ku)
+
+    def test_width(self):
+        assert Bandwidths(3, 2).width == 6
+
+    def test_pattern_based_not_value_based(self):
+        """An explicitly stored zero still counts toward the bandwidth."""
+        dense = np.zeros((2, 4, 4))
+        dense[:, np.arange(4), np.arange(4)] = 1.0
+        dense[0, 3, 0] = 5.0  # system 0 only; union pattern has it
+        bw = detect_bandwidths(BatchCsr.from_dense(dense))
+        assert bw.kl == 3
+
+
+class TestCsrToBanded:
+    def test_roundtrip_dense(self, rng):
+        dense = random_banded_dense(rng, 3, 10, 2, 1)
+        banded = csr_to_banded(BatchCsr.from_dense(dense))
+        for k in range(3):
+            np.testing.assert_array_equal(banded.entry_dense(k), dense[k])
+
+    def test_default_fill_is_kl(self, rng):
+        dense = random_banded_dense(rng, 1, 8, 3, 1)
+        banded = csr_to_banded(BatchCsr.from_dense(dense))
+        assert banded.fill == 3
+        assert banded.work.shape[2] == 3 + 3 + 1 + 1
+
+    def test_apply_matches_csr(self, rng):
+        dense = random_banded_dense(rng, 3, 12, 2, 2)
+        csr = BatchCsr.from_dense(dense)
+        banded = csr_to_banded(csr)
+        x = rng.standard_normal((3, 12))
+        np.testing.assert_allclose(
+            banded.apply(x), csr.apply(x), rtol=1e-12, atol=1e-13
+        )
+
+    def test_apply_shape_checked(self, rng):
+        dense = random_banded_dense(rng, 2, 8, 1, 1)
+        banded = csr_to_banded(BatchCsr.from_dense(dense))
+        with pytest.raises(ValueError):
+            banded.apply(np.ones((2, 9)))
+
+    def test_lapack_ab_layout_interoperates_with_scipy(self, rng):
+        """to_lapack_ab must produce exactly what solve_banded expects."""
+        kl, ku, n = 2, 3, 14
+        dense = random_banded_dense(rng, 2, n, kl, ku)
+        csr = BatchCsr.from_dense(dense)
+        banded = csr_to_banded(csr)
+        b = rng.standard_normal(n)
+        for k in range(2):
+            ab = banded.to_lapack_ab(k)
+            x = solve_banded((kl, ku), ab, b)
+            np.testing.assert_allclose(dense[k] @ x, b, rtol=1e-9, atol=1e-11)
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            BatchBanded(np.zeros((2, 4)), 1, 1, 1)  # not 3-D
+        with pytest.raises(ValueError):
+            BatchBanded(np.zeros((1, 4, 3)), 1, 1, 1)  # width mismatch
+
+    def test_diag_col(self, rng):
+        dense = random_banded_dense(rng, 1, 6, 2, 1)
+        banded = csr_to_banded(BatchCsr.from_dense(dense))
+        assert banded.diag_col == 2
+        np.testing.assert_allclose(
+            banded.work[0, :, banded.diag_col],
+            np.diagonal(dense[0]),
+        )

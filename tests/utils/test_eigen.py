@@ -1,0 +1,84 @@
+"""Tests for the eigenvalue diagnostics (Fig. 2 machinery)."""
+
+import numpy as np
+import pytest
+
+from repro.core import BatchCsr, BatchDense
+from repro.utils import (
+    batch_eigenvalues,
+    condition_number,
+    summarize_spectrum,
+)
+
+
+class TestBatchEigenvalues:
+    def test_diagonal_matrix(self):
+        d = np.array([[1.0, 2.0, 3.0]])
+        m = BatchCsr.from_dense(np.einsum("bi,ij->bij", d, np.eye(3)))
+        ev = np.sort(batch_eigenvalues(m, 0).real)
+        np.testing.assert_allclose(ev, [1.0, 2.0, 3.0])
+
+    def test_works_with_dense_format(self, rng):
+        a = rng.standard_normal((2, 5, 5))
+        m = BatchDense(a)
+        ev = batch_eigenvalues(m, 1)
+        np.testing.assert_allclose(
+            np.sort(ev), np.sort(np.linalg.eigvals(a[1])), rtol=1e-10
+        )
+
+
+class TestSummarizeSpectrum:
+    def test_summary_fields(self):
+        ev = np.array([1.0 + 0.5j, 2.0 - 0.25j, 0.5])
+        s = summarize_spectrum(ev)
+        assert s.real_min == 0.5
+        assert s.real_max == 2.0
+        assert s.imag_max_abs == 0.5
+        assert s.abs_min == 0.5
+        assert s.abs_max == pytest.approx(abs(2.0 - 0.25j))
+
+    def test_spread_ratios(self):
+        s = summarize_spectrum(np.array([1.0, 10.0]))
+        assert s.real_spread == 10.0
+        assert s.modulus_ratio == 10.0
+
+    def test_indefinite_spectrum_reports_inf_spread(self):
+        s = summarize_spectrum(np.array([-1.0, 2.0]))
+        assert s.real_spread == float("inf")
+
+
+class TestConditionNumber:
+    def test_identity_is_one(self):
+        m = BatchDense(np.eye(4)[None])
+        assert condition_number(m) == pytest.approx(1.0)
+
+    def test_scaling(self):
+        d = np.diag([1.0, 10.0])[None]
+        assert condition_number(BatchDense(d)) == pytest.approx(10.0)
+
+    def test_singular_is_inf(self):
+        d = np.diag([1.0, 0.0])[None]
+        assert condition_number(BatchDense(d)) == float("inf")
+
+
+class TestPaperFig2:
+    def test_ion_vs_electron_spectra(self, paper_app):
+        """Fig. 2: ion eigenvalues cluster near 1.0; the electron spectrum
+        has a much wider real-part range; both stay in the right half
+        plane (well-conditioned)."""
+        matrix, _ = paper_app.build_matrices()
+        from repro.core import to_format
+
+        csr = to_format(matrix, "csr")
+        ev_e = batch_eigenvalues(csr, 0)  # electron system of node 0
+        ev_i = batch_eigenvalues(csr, 1)  # ion system of node 0
+        se, si = summarize_spectrum(ev_e), summarize_spectrum(ev_i)
+
+        # Ions: clustered around 1.
+        assert si.real_min > 0.9
+        assert si.real_max < 5.0
+        # Electrons: much wider spread, still positive-real.
+        assert se.real_min > 0.9
+        assert se.real_max > 5 * si.real_max
+        # Neither has 'very large or very small eigenvalues'.
+        assert se.real_max < 1e4

@@ -1,0 +1,122 @@
+"""Tests for Matrix Market I/O (the Zenodo-archive exchange format)."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.core import BatchCsr
+from repro.utils import (
+    load_batch_folder,
+    read_matrix_market,
+    save_batch_folder,
+    write_matrix_market,
+)
+
+
+class TestScalarIO:
+    def test_matrix_roundtrip(self, rng, tmp_path):
+        a = rng.standard_normal((6, 4)) * (rng.random((6, 4)) < 0.5)
+        path = str(tmp_path / "a.mtx")
+        write_matrix_market(path, a)
+        np.testing.assert_array_equal(read_matrix_market(path), a)
+
+    def test_vector_roundtrip(self, rng, tmp_path):
+        v = rng.standard_normal(9)
+        path = str(tmp_path / "v.mtx")
+        write_matrix_market(path, v)
+        out = read_matrix_market(path)
+        assert out.shape == (9, 1)
+        np.testing.assert_array_equal(out[:, 0], v)
+
+    def test_values_exact_repr(self, tmp_path):
+        """repr round-trips float64 exactly — no precision loss."""
+        a = np.array([[1.0 / 3.0, np.pi], [0.0, 1e-300]])
+        path = str(tmp_path / "exact.mtx")
+        write_matrix_market(path, a)
+        out = read_matrix_market(path)
+        assert out[0, 0] == a[0, 0]
+        assert out[0, 1] == a[0, 1]
+
+    def test_tolerance_drops_entries(self, tmp_path):
+        a = np.array([[1.0, 1e-15], [0.0, 2.0]])
+        path = str(tmp_path / "tol.mtx")
+        write_matrix_market(path, a, tol=1e-12)
+        out = read_matrix_market(path)
+        assert out[0, 1] == 0.0
+        assert out[1, 1] == 2.0
+
+    def test_symmetric_reader(self, tmp_path):
+        path = str(tmp_path / "sym.mtx")
+        with open(path, "w") as fh:
+            fh.write("%%MatrixMarket matrix coordinate real symmetric\n")
+            fh.write("2 2 2\n1 1 3.0\n2 1 5.0\n")
+        out = read_matrix_market(path)
+        np.testing.assert_array_equal(out, [[3.0, 5.0], [5.0, 3.0 * 0 + 0]])
+        assert out[0, 1] == 5.0  # mirrored
+
+    def test_comments_skipped(self, tmp_path):
+        path = str(tmp_path / "c.mtx")
+        with open(path, "w") as fh:
+            fh.write("%%MatrixMarket matrix coordinate real general\n")
+            fh.write("% a comment line\n")
+            fh.write("1 1 1\n1 1 7.5\n")
+        assert read_matrix_market(path)[0, 0] == 7.5
+
+    def test_bad_header_rejected(self, tmp_path):
+        path = str(tmp_path / "bad.mtx")
+        with open(path, "w") as fh:
+            fh.write("not a matrix market file\n1 1 1\n")
+        with pytest.raises(ValueError):
+            read_matrix_market(path)
+
+    def test_3d_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_matrix_market(str(tmp_path / "x.mtx"), np.zeros((2, 2, 2)))
+
+
+class TestBatchFolders:
+    def test_save_load_roundtrip(self, rng, csr_batch, tmp_path):
+        rhs = rng.standard_normal((csr_batch.num_batch, csr_batch.num_rows))
+        folder = str(tmp_path / "dgb_2")
+        save_batch_folder(folder, csr_batch, rhs)
+
+        loaded, rhs_loaded = load_batch_folder(folder)
+        assert loaded.num_batch == csr_batch.num_batch
+        np.testing.assert_array_equal(rhs_loaded, rhs)
+        for k in range(csr_batch.num_batch):
+            np.testing.assert_array_equal(
+                loaded.entry_dense(k), csr_batch.entry_dense(k)
+            )
+
+    def test_zenodo_layout(self, rng, csr_batch, tmp_path):
+        """Numbered subfolders with A.mtx/b.mtx, as in the paper's
+        reproducibility appendix."""
+        rhs = rng.standard_normal((csr_batch.num_batch, csr_batch.num_rows))
+        folder = str(tmp_path / "dgb_2")
+        save_batch_folder(folder, csr_batch, rhs)
+        assert os.path.isfile(os.path.join(folder, "0", "A.mtx"))
+        assert os.path.isfile(os.path.join(folder, "0", "b.mtx"))
+        assert os.path.isfile(
+            os.path.join(folder, str(csr_batch.num_batch - 1), "A.mtx")
+        )
+
+    def test_empty_folder_rejected(self, tmp_path):
+        folder = tmp_path / "empty"
+        folder.mkdir()
+        with pytest.raises(FileNotFoundError):
+            load_batch_folder(str(folder))
+
+    def test_xgc_matrices_roundtrip(self, small_app, tmp_path):
+        """The actual collision matrices survive the exchange format."""
+        from repro.core import to_format
+
+        matrix, f = small_app.build_matrices()
+        csr = to_format(matrix, "csr")
+        folder = str(tmp_path / "xgc")
+        save_batch_folder(folder, csr, f)
+        loaded, f2 = load_batch_folder(folder)
+        x = np.ones((csr.num_batch, csr.num_rows))
+        np.testing.assert_allclose(
+            loaded.apply(x), csr.apply(x), rtol=1e-12, atol=1e-14
+        )

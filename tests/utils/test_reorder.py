@@ -1,0 +1,103 @@
+"""Tests for the RCM bandwidth-reducing reordering."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import BatchBandedLu, BatchCsr
+from repro.utils import apply_reordering, rcm_reordering
+
+
+def shuffled_banded(rng, nb, n, bw=1):
+    """A banded batch hidden behind a random symmetric permutation."""
+    dense = np.zeros((nb, n, n))
+    i = np.arange(n)
+    dense[:, i, i] = 4.0 + rng.random((nb, n))
+    for off in range(1, bw + 1):
+        dense[:, i[off:], i[:-off]] = -1.0 + 0.1 * rng.random((nb, n - off))
+        dense[:, i[:-off], i[off:]] = -1.0 + 0.1 * rng.random((nb, n - off))
+    perm = rng.permutation(n)
+    return dense[:, perm][:, :, perm]
+
+
+class TestRcmReordering:
+    def test_recovers_narrow_band(self, rng):
+        m = BatchCsr.from_dense(shuffled_banded(rng, 2, 50))
+        r = rcm_reordering(m)
+        assert r.bandwidth_before > 10
+        assert r.bandwidth_after <= 3
+        assert r.improved
+
+    def test_permutation_is_valid(self, rng):
+        m = BatchCsr.from_dense(shuffled_banded(rng, 1, 30))
+        r = rcm_reordering(m)
+        assert np.array_equal(np.sort(r.perm), np.arange(30))
+        np.testing.assert_array_equal(r.perm[r.inv_perm], np.arange(30))
+
+    def test_xgc_order_already_optimal(self, paper_app):
+        """The lexicographic grid order is already (near-)optimal: RCM
+        cannot do meaningfully better than nv_par + 1."""
+        matrix, _ = paper_app.build_matrices()
+        r = rcm_reordering(matrix)
+        assert r.bandwidth_before == 33
+        assert r.bandwidth_after >= 31  # can't beat the stencil geometry
+
+    def test_rejects_rectangular(self, rng):
+        m = BatchCsr.from_dense(rng.standard_normal((1, 4, 6)))
+        with pytest.raises(ValueError, match="square"):
+            rcm_reordering(m)
+
+
+class TestApplyReordering:
+    def test_permuted_matrix_is_pap(self, rng):
+        dense = shuffled_banded(rng, 2, 20)
+        m = BatchCsr.from_dense(dense)
+        r = rcm_reordering(m)
+        m2 = apply_reordering(m, r)
+        for k in range(2):
+            expected = dense[k][np.ix_(r.perm, r.perm)]
+            np.testing.assert_array_equal(m2.entry_dense(k), expected)
+
+    def test_solution_roundtrip_through_banded_solver(self, rng):
+        dense = shuffled_banded(rng, 3, 40, bw=2)
+        m = BatchCsr.from_dense(dense)
+        r = rcm_reordering(m)
+        m2 = apply_reordering(m, r)
+        x_true = rng.standard_normal((3, 40))
+        b = m.apply(x_true)
+        res = BatchBandedLu().solve(m2, r.permute_vector(b))
+        x = r.unpermute_vector(res.x)
+        np.testing.assert_allclose(x, x_true, rtol=1e-8, atol=1e-10)
+
+    def test_spmv_equivariance(self, rng):
+        m = BatchCsr.from_dense(shuffled_banded(rng, 2, 25))
+        r = rcm_reordering(m)
+        m2 = apply_reordering(m, r)
+        x = rng.standard_normal((2, 25))
+        np.testing.assert_allclose(
+            m2.apply(r.permute_vector(x)),
+            r.permute_vector(m.apply(x)),
+            rtol=1e-12,
+        )
+
+    def test_dimension_mismatch_rejected(self, rng):
+        m = BatchCsr.from_dense(shuffled_banded(rng, 1, 20))
+        r = rcm_reordering(m)
+        other = BatchCsr.from_dense(shuffled_banded(rng, 1, 25))
+        with pytest.raises(ValueError):
+            apply_reordering(other, r)
+
+    @given(seed=st.integers(0, 2**20), n=st.integers(4, 40))
+    @settings(max_examples=40, deadline=None)
+    def test_property_roundtrip(self, seed, n):
+        """permute then unpermute is the identity on batch vectors, and the
+        reordered bandwidth never exceeds the original pattern's size."""
+        rng = np.random.default_rng(seed)
+        m = BatchCsr.from_dense(shuffled_banded(rng, 1, n))
+        r = rcm_reordering(m)
+        x = rng.standard_normal((2, n))
+        np.testing.assert_array_equal(
+            r.unpermute_vector(r.permute_vector(x)), x
+        )
+        assert 0 <= r.bandwidth_after < n

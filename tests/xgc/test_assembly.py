@@ -1,0 +1,181 @@
+"""Tests for the finite-volume stencil assembly (the XGC matrices)."""
+
+import collections
+
+import numpy as np
+import pytest
+
+from repro.core import to_format
+from repro.utils import detect_bandwidths
+from repro.xgc import (
+    CollisionCoefficients,
+    CollisionStencil,
+    VelocityGrid,
+    maxwellian,
+)
+
+
+def uniform_coeffs(nb=1, **kw):
+    kw.setdefault("nu", 1.0)
+    kw.setdefault("vt2", 1.0)
+    kw.setdefault("eta", 0.3)
+    kw.setdefault("dt", 0.1)
+    return CollisionCoefficients.uniform(nb, **kw)
+
+
+class TestPattern:
+    def test_paper_pattern_992_rows_9_nnz(self, paper_stencil):
+        """Fig. 4: 992 rows, 9 non-zeros per (interior) row."""
+        assert paper_stencil.num_rows == 992
+        hist = collections.Counter(paper_stencil.nnz_per_row().tolist())
+        assert hist[9] == 30 * 29  # interior cells
+        assert max(hist) == 9
+        # Boundary rows are shorter, never longer.
+        assert all(k <= 9 for k in hist)
+
+    def test_bandwidth_matches_dgbsv_expectation(self, paper_stencil):
+        m = paper_stencil.assemble(uniform_coeffs())
+        bw = detect_bandwidths(m)
+        assert bw.kl == bw.ku == 33  # nv_par + 1
+
+    def test_stencil_is_local(self, small_grid, small_stencil):
+        """Every coupling stays within the 9-point neighbourhood."""
+        m = small_stencil.assemble(uniform_coeffs())
+        nx = small_grid.nv_par
+        rows = np.repeat(
+            np.arange(m.num_rows, dtype=np.int64), np.diff(m.row_ptrs)
+        )
+        cols = m.col_idxs.astype(np.int64)
+        di = cols % nx - rows % nx
+        dj = cols // nx - rows // nx
+        assert np.all(np.abs(di) <= 1)
+        assert np.all(np.abs(dj) <= 1)
+
+
+class TestMatrixProperties:
+    def test_mass_conservation_structural(self, small_grid, small_stencil):
+        """vol^T (M - I) = 0: the FV fluxes telescope exactly, so density
+        is conserved for ANY coefficients."""
+        co = uniform_coeffs(2, u_par=0.3, dt=0.2)
+        m = small_stencil.assemble(co)
+        vol = small_grid.cell_volumes()
+        for k in range(2):
+            resid = vol @ (m.entry_dense(k) - np.eye(m.num_rows))
+            assert np.abs(resid).max() < 1e-12
+
+    def test_equilibrium_annihilation(self, small_grid, small_stencil):
+        """M f_M ~ f_M for the matching Maxwellian (up to O(h^2))."""
+        co = uniform_coeffs(1, vt2=1.0, u_par=0.0)
+        m = small_stencil.assemble(co)
+        fm = maxwellian(small_grid, 1.0, 1.0, 0.0)
+        err = m.apply(fm[None])[0] - fm
+        assert np.abs(err).max() / fm.max() < 2e-2
+
+    def test_equilibrium_error_converges_with_grid(self):
+        """The discrete-equilibrium defect shrinks ~O(h^2) under
+        refinement — the discretisation is consistent."""
+        co = uniform_coeffs(1, vt2=1.0, u_par=0.0)
+        errs = []
+        for nv in (8, 16, 32):
+            g = VelocityGrid(nv_par=nv, nv_perp=nv - 1)
+            st = CollisionStencil(g)
+            fm = maxwellian(g, 1.0, 1.0, 0.0)
+            err = st.assemble(co).apply(fm[None])[0] - fm
+            errs.append(np.abs(err).max() / fm.max())
+        assert errs[1] < errs[0] / 2.5
+        assert errs[2] < errs[1] / 2.5
+
+    def test_drifting_equilibrium_without_pitch(self, small_grid, small_stencil):
+        """With eta = 0 the drifting Maxwellian is a discrete
+        near-equilibrium too."""
+        co = uniform_coeffs(1, vt2=0.9, u_par=0.4, eta=0.0)
+        m = small_stencil.assemble(co)
+        fm = maxwellian(small_grid, 1.0, 0.9, 0.4)
+        err = m.apply(fm[None])[0] - fm
+        assert np.abs(err).max() / fm.max() < 2e-2
+
+    def test_not_symmetric(self, small_stencil):
+        """Paper: 'The matrices are not numerically symmetric'."""
+        m = small_stencil.assemble(uniform_coeffs(u_par=0.2))
+        dense = m.entry_dense(0)
+        assert not np.allclose(dense, dense.T)
+
+    def test_identity_at_zero_dt_limit(self, small_stencil):
+        co = uniform_coeffs(1, dt=1e-300)
+        dense = small_stencil.assemble(co).entry_dense(0)
+        np.testing.assert_allclose(dense, np.eye(dense.shape[0]), atol=1e-290)
+
+    def test_eigenvalues_cluster_near_one_for_weak_collisions(
+        self, small_grid, small_stencil
+    ):
+        """Fig. 2 ion behaviour: small dt*nu -> spectrum hugs 1.0."""
+        co = uniform_coeffs(1, nu=1e-3, dt=0.05)
+        ev = np.linalg.eigvals(small_stencil.assemble(co).entry_dense(0))
+        assert ev.real.min() > 0.99
+        assert ev.real.max() < 1.5
+
+    def test_eigenvalues_spread_for_strong_collisions(
+        self, small_grid, small_stencil
+    ):
+        """Fig. 2 electron behaviour: larger dt*nu -> wider real spread,
+        still in the right half plane (well conditioned)."""
+        co = uniform_coeffs(1, nu=1.0, dt=0.05)
+        ev = np.linalg.eigvals(small_stencil.assemble(co).entry_dense(0))
+        assert ev.real.min() > 0.5
+        assert ev.real.max() > 3.0
+
+
+class TestAssemblyMechanics:
+    def test_gemm_assembly_is_affine_in_coefficients(self, small_stencil):
+        """M(c1 + c2 deviation) decomposes per template — spot-check that
+        doubling dt*nu doubles (M - I)."""
+        c1 = uniform_coeffs(1, nu=1.0, dt=0.1)
+        c2 = uniform_coeffs(1, nu=2.0, dt=0.1)
+        m1 = small_stencil.assemble(c1).entry_dense(0)
+        m2 = small_stencil.assemble(c2).entry_dense(0)
+        eye = np.eye(m1.shape[0])
+        np.testing.assert_allclose(m2 - eye, 2.0 * (m1 - eye), rtol=1e-12)
+
+    def test_batch_values_differ_pattern_shared(self, small_stencil):
+        co = CollisionCoefficients(
+            nu=np.array([1.0, 2.0]),
+            vt2=np.array([1.0, 1.5]),
+            u_par=np.array([0.0, 0.3]),
+            eta=np.array([0.3, 0.3]),
+            dt=np.array([0.1, 0.1]),
+        )
+        m = small_stencil.assemble(co)
+        assert m.num_batch == 2
+        assert not np.allclose(m.values[0], m.values[1])
+
+    def test_ell_assembly_matches_csr(self, small_stencil):
+        co = uniform_coeffs(2, u_par=0.1)
+        csr = small_stencil.assemble(co)
+        ell = small_stencil.assemble_ell(co)
+        for k in range(2):
+            np.testing.assert_allclose(
+                ell.entry_dense(k), csr.entry_dense(k), atol=1e-14
+            )
+
+    def test_ell_padding_small(self, paper_stencil):
+        """Paper: 'very little padding necessary (only for the boundary
+        points of the grid)'."""
+        ell = paper_stencil.assemble_ell(uniform_coeffs())
+        assert ell.max_nnz_row == 9
+        assert ell.padding_fraction() < 0.05
+
+    def test_reusable_across_species(self, small_stencil):
+        """One stencil serves every coefficient bundle (same pattern)."""
+        m1 = small_stencil.assemble(uniform_coeffs(1, nu=1.0))
+        m2 = small_stencil.assemble(uniform_coeffs(1, nu=1e-2))
+        assert m1.col_idxs is m2.col_idxs  # literally shared arrays
+
+    def test_tiny_grid_edge_case(self):
+        """A 2x2 grid must assemble without index errors."""
+        g = VelocityGrid(nv_par=2, nv_perp=2)
+        st = CollisionStencil(g)
+        m = st.assemble(uniform_coeffs())
+        assert m.num_rows == 4
+        vol = g.cell_volumes()
+        resid = vol @ (m.entry_dense(0) - np.eye(4))
+        assert np.abs(resid).max() < 1e-13

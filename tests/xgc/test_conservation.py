@@ -1,0 +1,99 @@
+"""Tests for the conservation diagnostics and the XGC-style fix."""
+
+import numpy as np
+import pytest
+
+from repro.xgc import check_conservation, maxwellian
+from repro.xgc.conservation import apply_conservation_fix
+
+
+class TestCheckConservation:
+    def test_identical_states_have_zero_drift(self, small_grid):
+        f = maxwellian(small_grid, 1.0, 1.0)
+        rep = check_conservation(small_grid, f, f)
+        assert rep.density_drift[0] == 0.0
+        assert rep.momentum_drift[0] == 0.0
+        assert rep.energy_drift[0] == 0.0
+        assert rep.all_ok
+
+    def test_density_violation_detected(self, small_grid):
+        f = maxwellian(small_grid, 1.0, 1.0)
+        rep = check_conservation(small_grid, f, 1.001 * f)
+        assert rep.density_drift[0] == pytest.approx(1e-3, rel=1e-6)
+        assert not rep.all_ok
+
+    def test_energy_drift_detected(self, small_grid):
+        hot = maxwellian(small_grid, 1.0, 1.3)
+        cold = maxwellian(small_grid, 1.0, 1.0)
+        rep = check_conservation(small_grid, cold, hot)
+        assert rep.energy_drift[0] > 0.1
+        # density identical by construction
+        assert rep.density_drift[0] < 1e-12
+
+    def test_momentum_metric_finite_for_centred(self, small_grid):
+        """Momentum normalised by thermal momentum, not by the (zero)
+        mean flow."""
+        f = maxwellian(small_grid, 1.0, 1.0, 0.0)
+        g = maxwellian(small_grid, 1.0, 1.0, 0.05)
+        rep = check_conservation(small_grid, f, g)
+        assert np.isfinite(rep.momentum_drift[0])
+        assert rep.momentum_drift[0] > 0.01
+
+    def test_batch_support(self, small_grid):
+        f = np.stack([maxwellian(small_grid, 1.0, 1.0)] * 3)
+        g = f.copy()
+        g[1] *= 1.01
+        rep = check_conservation(small_grid, f, g)
+        np.testing.assert_array_equal(rep.density_ok, [True, False, True])
+
+    def test_shape_mismatch_rejected(self, small_grid):
+        f = maxwellian(small_grid, 1.0, 1.0)
+        with pytest.raises(ValueError):
+            check_conservation(small_grid, f[None], np.stack([f, f]))
+
+    def test_worst_summary(self, small_grid):
+        f = maxwellian(small_grid, 1.0, 1.0)
+        rep = check_conservation(small_grid, f, 1.5 * f)
+        w = rep.worst()
+        assert set(w) == {"density", "momentum", "energy"}
+        assert w["density"] == pytest.approx(0.5)
+
+
+class TestConservationFix:
+    def test_restores_all_three_moments(self, small_grid, rng):
+        before = maxwellian(small_grid, 1.0, 1.2, 0.3)
+        # Simulate a step that perturbed everything a little.
+        after = before * (1.0 + 0.02 * rng.standard_normal(before.size))
+        fixed = apply_conservation_fix(small_grid, before, after)
+        rep = check_conservation(small_grid, before, fixed)
+        assert rep.density_drift[0] < 1e-13
+        assert rep.momentum_drift[0] < 1e-13
+        assert rep.energy_drift[0] < 1e-13
+
+    def test_small_perturbation_of_input(self, small_grid, rng):
+        """The correction is a small multiplicative factor, not a rewrite."""
+        before = maxwellian(small_grid, 1.0, 1.0)
+        after = before * 1.001
+        fixed = apply_conservation_fix(small_grid, before, after)
+        assert np.abs(fixed / after - 1.0).max() < 0.01
+
+    def test_batch_support(self, small_grid, rng):
+        before = np.stack([
+            maxwellian(small_grid, 1.0, 1.0),
+            maxwellian(small_grid, 2.0, 1.5, 0.2),
+        ])
+        after = before * (1 + 0.01 * rng.standard_normal(before.shape))
+        fixed = apply_conservation_fix(small_grid, before, after)
+        rep = check_conservation(small_grid, before, fixed)
+        assert rep.density_drift.max() < 1e-12
+        assert rep.energy_drift.max() < 1e-12
+
+    def test_noop_when_already_conserved(self, small_grid):
+        f = maxwellian(small_grid, 1.0, 1.0)
+        fixed = apply_conservation_fix(small_grid, f, f.copy())
+        np.testing.assert_allclose(fixed, f, rtol=1e-12)
+
+    def test_shape_mismatch_rejected(self, small_grid):
+        f = maxwellian(small_grid, 1.0, 1.0)
+        with pytest.raises(ValueError):
+            apply_conservation_fix(small_grid, f[None], np.stack([f, f]))

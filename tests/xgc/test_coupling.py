@@ -1,0 +1,166 @@
+"""Tests for the inter-species (electron-ion) collisional exchange."""
+
+import numpy as np
+import pytest
+
+from repro.xgc import (
+    CollisionProxyApp,
+    ProxyAppConfig,
+    VelocityGrid,
+    apply_interspecies_exchange,
+    maxwellian,
+    moments,
+)
+
+ME, MI = 1.0, 3671.0
+
+
+def two_species(grid, T_e=2.0, T_i=1.0, u_e=0.5, u_i=-0.2, n=1.0):
+    fe = maxwellian(grid, n, T_e, u_e)
+    fi = maxwellian(grid, n, T_i, u_i)
+    return fe[None], fi[None]
+
+
+class TestExchangePhysics:
+    def test_total_momentum_conserved(self, small_grid):
+        fe, fi = two_species(small_grid)
+        r = apply_interspecies_exchange(
+            small_grid, fe, fi, mass_e=ME, mass_i=MI, dt=1.0, nu_ei=1.0
+        )
+        def p(f, m):
+            mom = moments(small_grid, f)
+            return m * mom.density * mom.mean_v_par / np.sqrt(m)
+        before = p(fe, ME) + p(fi, MI)
+        after = p(r.f_e, ME) + p(r.f_i, MI)
+        np.testing.assert_allclose(after, before, rtol=1e-12)
+
+    def test_total_energy_conserved_with_friction(self, small_grid):
+        fe, fi = two_species(small_grid)
+
+        def total_energy(f_e, f_i):
+            a, b = moments(small_grid, f_e), moments(small_grid, f_i)
+            out = 0.0
+            for mom, m in ((a, ME), (b, MI)):
+                u_phys = mom.mean_v_par / np.sqrt(m)
+                out = out + 1.5 * mom.density * mom.temperature
+                out = out + 0.5 * m * mom.density * u_phys**2
+            return out
+
+        r = apply_interspecies_exchange(
+            small_grid, fe, fi, mass_e=ME, mass_i=MI, dt=5.0, nu_ei=2.0
+        )
+        np.testing.assert_allclose(
+            total_energy(r.f_e, r.f_i), total_energy(fe, fi), rtol=1e-10
+        )
+
+    def test_temperatures_relax_toward_each_other(self, small_grid):
+        fe, fi = two_species(small_grid, T_e=2.0, T_i=1.0)
+        r = apply_interspecies_exchange(
+            small_grid, fe, fi, mass_e=ME, mass_i=MI, dt=50.0, nu_ei=5.0
+        )
+        dT_before = 1.0
+        dT_after = (
+            moments(small_grid, r.f_e).temperature
+            - moments(small_grid, r.f_i).temperature
+        ).item()
+        assert 0 < dT_after < dT_before
+
+    def test_flows_relax_faster_than_temperatures(self, small_grid):
+        """Momentum exchanges at nu_ei; energy at 3(m_e/m_i) nu_ei — the
+        classical mass-ratio suppression."""
+        fe, fi = two_species(small_grid, T_e=2.0, T_i=1.0, u_e=0.5, u_i=-0.1)
+        r = apply_interspecies_exchange(
+            small_grid, fe, fi, mass_e=ME, mass_i=MI, dt=3.0, nu_ei=1.0
+        )
+        me_, mi_ = moments(small_grid, r.f_e), moments(small_grid, r.f_i)
+        du_frac = abs(
+            me_.mean_v_par / np.sqrt(ME) - mi_.mean_v_par / np.sqrt(MI)
+        ) / abs(0.5 / np.sqrt(ME) - (-0.1) / np.sqrt(MI))
+        dT_frac = abs(me_.temperature - mi_.temperature) / 1.0
+        assert du_frac < 0.2  # flows mostly relaxed
+        assert dT_frac > 0.9  # temperatures barely moved
+
+    def test_zero_dt_is_identity(self, small_grid):
+        fe, fi = two_species(small_grid)
+        r = apply_interspecies_exchange(
+            small_grid, fe, fi, mass_e=ME, mass_i=MI, dt=0.0, nu_ei=1.0
+        )
+        np.testing.assert_allclose(r.f_e, fe, rtol=1e-12)
+        np.testing.assert_allclose(r.f_i, fi, rtol=1e-12)
+
+    def test_equilibrium_is_fixed_point(self, small_grid):
+        """Equal temperatures and equal physical flows: nothing to exchange."""
+        # u_phys small enough that the ion's normalised flow
+        # (u_phys * sqrt(m_i) ~ 0.12) stays well inside the grid.
+        u_phys = 0.002
+        fe = maxwellian(small_grid, 1.0, 1.5, u_phys * np.sqrt(ME))[None]
+        fi = maxwellian(small_grid, 1.0, 1.5, u_phys * np.sqrt(MI))[None]
+        r = apply_interspecies_exchange(
+            small_grid, fe, fi, mass_e=ME, mass_i=MI, dt=10.0, nu_ei=3.0
+        )
+        # Near-fixed point: only discrete-moment residuals (~1e-5) move it.
+        np.testing.assert_allclose(r.f_e, fe, rtol=1e-4)
+        np.testing.assert_allclose(r.f_i, fi, rtol=1e-4)
+
+    def test_batch_support(self, small_grid):
+        # Zero flows so frictional heating cannot mask the thermal-transfer
+        # signs.
+        fe1, fi1 = two_species(small_grid, T_e=2.0, T_i=1.0, u_e=0.0, u_i=0.0)
+        fe2, fi2 = two_species(small_grid, T_e=1.0, T_i=1.2, u_e=0.0, u_i=0.0)
+        r = apply_interspecies_exchange(
+            small_grid,
+            np.concatenate([fe1, fe2]),
+            np.concatenate([fi1, fi2]),
+            mass_e=ME, mass_i=MI, dt=1.0, nu_ei=1.0,
+        )
+        assert r.f_e.shape == (2, small_grid.num_cells)
+        # Transfers have opposite signs for the two pairs (hot e- vs hot ion).
+        assert r.energy_transfer[0] > 0 > r.energy_transfer[1]
+
+    def test_shape_mismatch_rejected(self, small_grid):
+        fe, fi = two_species(small_grid)
+        with pytest.raises(ValueError):
+            apply_interspecies_exchange(
+                small_grid, fe, np.concatenate([fi, fi]),
+                mass_e=ME, mass_i=MI, dt=1.0, nu_ei=1.0,
+            )
+
+
+class TestCoupledProxyApp:
+    def test_coupled_run(self):
+        grid = VelocityGrid(nv_par=10, nv_perp=9)
+        app = CollisionProxyApp(ProxyAppConfig(
+            num_mesh_nodes=2, grid=grid,
+            interspecies_coupling=True, nu_ei=1.0,
+        ))
+        res = app.run(3)
+        assert len(res.step_results) == 3
+        assert np.all(np.isfinite(res.f_final))
+
+    def test_coupling_pulls_species_temperatures_together(self):
+        grid = VelocityGrid(nv_par=10, nv_perp=9)
+        cfg = dict(num_mesh_nodes=2, grid=grid)
+        app_c = CollisionProxyApp(ProxyAppConfig(
+            **cfg, interspecies_coupling=True, nu_ei=20.0,
+        ))
+        app_u = CollisionProxyApp(ProxyAppConfig(**cfg))
+        f0 = app_c.initial_state()
+        fc = app_c.run(10, f0=f0).f_final
+        fu = app_u.run(10, f0=f0.copy()).f_final
+        def spread(f):
+            mom = moments(grid, f)
+            return np.abs(
+                mom.temperature[0::2] - mom.temperature[1::2]
+            ).mean()
+        assert spread(fc) < spread(fu)
+
+    def test_requires_two_species(self):
+        from repro.xgc import ELECTRON
+
+        grid = VelocityGrid(nv_par=8, nv_perp=7)
+        app = CollisionProxyApp(ProxyAppConfig(
+            num_mesh_nodes=1, grid=grid, species=(ELECTRON,),
+            interspecies_coupling=True,
+        ))
+        with pytest.raises(ValueError, match="two species"):
+            app.run(1)

@@ -1,0 +1,86 @@
+"""Tests for the 2D velocity grid."""
+
+import numpy as np
+import pytest
+
+from repro.xgc import VelocityGrid
+
+
+class TestVelocityGrid:
+    def test_paper_default_is_992(self):
+        g = VelocityGrid()
+        assert g.num_cells == 992
+        assert g.nv_par == 32
+        assert g.nv_perp == 31
+
+    def test_spacings(self):
+        g = VelocityGrid(nv_par=10, nv_perp=5, v_par_max=2.0, v_perp_max=1.0)
+        assert g.h_par == pytest.approx(0.4)
+        assert g.h_perp == pytest.approx(0.2)
+
+    def test_centres_are_cell_centred(self):
+        g = VelocityGrid(nv_par=4, nv_perp=3, v_par_max=2.0, v_perp_max=3.0)
+        np.testing.assert_allclose(g.v_par, [-1.5, -0.5, 0.5, 1.5])
+        np.testing.assert_allclose(g.v_perp, [0.5, 1.5, 2.5])
+
+    def test_v_perp_strictly_positive(self):
+        g = VelocityGrid()
+        assert g.v_perp.min() > 0  # axis cell centre is off the J=0 axis
+
+    def test_parallel_symmetric(self):
+        g = VelocityGrid()
+        np.testing.assert_allclose(g.v_par, -g.v_par[::-1])
+
+    def test_cell_index_lexicographic(self):
+        g = VelocityGrid(nv_par=5, nv_perp=4)
+        assert g.cell_index(0, 0) == 0
+        assert g.cell_index(4, 0) == 4
+        assert g.cell_index(0, 1) == 5
+        assert g.cell_index(4, 3) == 19
+
+    def test_cell_index_bounds(self):
+        g = VelocityGrid(nv_par=5, nv_perp=4)
+        with pytest.raises(IndexError):
+            g.cell_index(5, 0)
+        with pytest.raises(IndexError):
+            g.cell_index(0, -1)
+
+    def test_cell_volumes_total(self):
+        """Sum of J dV equals the analytic integral of v_perp over the
+        domain: v_perp_max^2/2 * (2 v_par_max)."""
+        g = VelocityGrid(nv_par=16, nv_perp=16, v_par_max=3.0, v_perp_max=2.0)
+        total = g.cell_volumes().sum()
+        assert total == pytest.approx(0.5 * 2.0**2 * 6.0, rel=1e-12)
+
+    def test_flat_coords_align_with_index(self):
+        g = VelocityGrid(nv_par=5, nv_perp=4)
+        vpar, vperp = g.flat_coords()
+        k = g.cell_index(2, 3)
+        assert vpar[k] == pytest.approx(g.v_par[2])
+        assert vperp[k] == pytest.approx(g.v_perp[3])
+
+    def test_meshgrid_shapes(self):
+        g = VelocityGrid(nv_par=6, nv_perp=4)
+        vpar, vperp = g.meshgrid()
+        assert vpar.shape == (4, 6)
+        assert vperp.shape == (4, 6)
+
+    def test_jacobian_is_v_perp(self):
+        g = VelocityGrid(nv_par=3, nv_perp=4)
+        jac = g.jacobian()
+        for j in range(4):
+            np.testing.assert_allclose(jac[j], g.v_perp[j])
+
+    @pytest.mark.parametrize("bad", [
+        dict(nv_par=0), dict(nv_perp=0), dict(v_par_max=0.0), dict(v_perp_max=-1.0),
+    ])
+    def test_invalid_parameters(self, bad):
+        with pytest.raises(ValueError):
+            VelocityGrid(**bad)
+
+    def test_bandwidth_implied_by_layout(self):
+        """The 9-point stencil on this layout has bandwidth nv_par + 1 —
+        the fact that makes dgbsv's banded storage effective."""
+        g = VelocityGrid()
+        corner = g.cell_index(1, 1) - g.cell_index(0, 0)
+        assert corner == g.nv_par + 1

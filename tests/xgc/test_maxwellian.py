@@ -1,0 +1,105 @@
+"""Tests for Maxwellian construction and discrete moments."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.xgc import VelocityGrid, maxwellian, moments, relative_entropy
+
+
+@pytest.fixture(scope="module")
+def grid():
+    return VelocityGrid(nv_par=24, nv_perp=22, v_par_max=6.0, v_perp_max=6.0)
+
+
+class TestMaxwellian:
+    def test_discrete_density_exact(self, grid):
+        f = maxwellian(grid, density=2.5, temperature=1.3, mean_v_par=0.4)
+        mom = moments(grid, f)
+        assert mom.density == pytest.approx(2.5, rel=1e-13)
+
+    def test_moments_recover_parameters(self, grid):
+        f = maxwellian(grid, density=1.0, temperature=1.2, mean_v_par=0.5)
+        mom = moments(grid, f)
+        # Quadrature + domain truncation error only.
+        assert mom.mean_v_par == pytest.approx(0.5, abs=2e-3)
+        assert mom.temperature == pytest.approx(1.2, rel=2e-2)
+
+    def test_positive_everywhere(self, grid):
+        f = maxwellian(grid, temperature=0.7)
+        assert np.all(f > 0)
+
+    def test_peak_near_drift(self, grid):
+        f = maxwellian(grid, mean_v_par=1.0)
+        vpar, vperp = grid.flat_coords()
+        k = np.argmax(f)
+        assert abs(vpar[k] - 1.0) < 2 * grid.h_par
+        # Peak at smallest v_perp (the axis-nearest row of cells).
+        assert vperp[k] == pytest.approx(grid.v_perp[0])
+
+    def test_invalid_parameters(self, grid):
+        with pytest.raises(ValueError):
+            maxwellian(grid, density=0.0)
+        with pytest.raises(ValueError):
+            maxwellian(grid, temperature=-1.0)
+
+    @given(
+        n=st.floats(0.1, 5.0),
+        T=st.floats(0.5, 2.0),
+        u=st.floats(-1.0, 1.0),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_density_always_exact(self, grid, n, T, u):
+        f = maxwellian(grid, density=n, temperature=T, mean_v_par=u)
+        assert moments(grid, f).density == pytest.approx(n, rel=1e-12)
+
+
+class TestMoments:
+    def test_batch_and_single_agree(self, grid):
+        f1 = maxwellian(grid, 1.0, 1.0, 0.2)
+        f2 = maxwellian(grid, 2.0, 1.5, -0.3)
+        batch = moments(grid, np.stack([f1, f2]))
+        single1 = moments(grid, f1)
+        assert batch.density[0] == pytest.approx(single1.density)
+        assert batch.mean_v_par[1] == pytest.approx(
+            moments(grid, f2).mean_v_par
+        )
+
+    def test_linear_in_f(self, grid):
+        f = maxwellian(grid, 1.0, 1.0)
+        m1 = moments(grid, f)
+        m3 = moments(grid, 3.0 * f)
+        assert m3.density == pytest.approx(3.0 * m1.density)
+        # Intensive quantities unchanged.
+        assert m3.temperature == pytest.approx(m1.temperature)
+        assert m3.mean_v_par == pytest.approx(m1.mean_v_par, abs=1e-12)
+
+    def test_mixture_temperature_between_components(self, grid):
+        cold = maxwellian(grid, 1.0, 0.6)
+        hot = maxwellian(grid, 1.0, 2.0)
+        mix = moments(grid, 0.5 * cold + 0.5 * hot)
+        assert moments(grid, cold).temperature < mix.temperature
+        assert mix.temperature < moments(grid, hot).temperature
+
+    def test_non_positive_density_rejected(self, grid):
+        with pytest.raises(ValueError):
+            moments(grid, np.zeros(grid.num_cells))
+
+
+class TestRelativeEntropy:
+    def test_zero_for_identical(self, grid):
+        f = maxwellian(grid, 1.0, 1.0)
+        assert relative_entropy(grid, f, f) == pytest.approx(0.0, abs=1e-14)
+
+    def test_positive_for_different(self, grid):
+        f = maxwellian(grid, 1.0, 0.8)
+        g = maxwellian(grid, 1.0, 1.4)
+        assert relative_entropy(grid, f, g) > 0
+
+    def test_batch_support(self, grid):
+        f = np.stack([maxwellian(grid, 1.0, 0.8), maxwellian(grid, 1.0, 1.2)])
+        ref = maxwellian(grid, 1.0, 1.0)
+        out = relative_entropy(grid, f, ref)
+        assert out.shape == (2,)
+        assert np.all(out > 0)

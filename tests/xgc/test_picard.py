@@ -1,0 +1,160 @@
+"""Tests for the backward-Euler + Picard time stepper."""
+
+import numpy as np
+import pytest
+
+from repro.xgc import (
+    DEUTERON,
+    ELECTRON,
+    PicardOptions,
+    PicardStepper,
+    maxwellian,
+    moments,
+)
+
+
+def mixed_masses(nodes=1):
+    return np.tile([ELECTRON.mass, DEUTERON.mass], nodes)
+
+
+def off_equilibrium(grid):
+    return 0.7 * maxwellian(grid, 1.0, 0.8, -0.5) + 0.3 * maxwellian(
+        grid, 1.0, 2.5, 1.5
+    )
+
+
+class TestPicardStep:
+    def test_runs_five_iterations_by_default(self, small_grid, small_stencil):
+        stepper = PicardStepper(small_grid, mixed_masses(), stencil=small_stencil)
+        f0 = np.tile(off_equilibrium(small_grid), (2, 1))
+        res = stepper.step(f0, dt=0.05)
+        assert res.linear_iterations.shape == (5, 2)
+        assert bool(res.converged.all())
+
+    def test_picard_updates_decay(self, small_grid, small_stencil):
+        """The Picard iteration contracts: updates shrink monotonically."""
+        stepper = PicardStepper(small_grid, mixed_masses(), stencil=small_stencil)
+        f0 = np.tile(off_equilibrium(small_grid), (2, 1))
+        res = stepper.step(f0, dt=0.05)
+        ups = res.picard_updates
+        assert all(ups[i + 1] < ups[i] for i in range(len(ups) - 1))
+
+    def test_warm_start_reduces_iterations(self, small_grid, small_stencil):
+        f0 = np.tile(off_equilibrium(small_grid), (2, 1))
+        warm = PicardStepper(
+            small_grid, mixed_masses(), stencil=small_stencil,
+            options=PicardOptions(warm_start=True),
+        ).step(f0, dt=0.05)
+        cold = PicardStepper(
+            small_grid, mixed_masses(), stencil=small_stencil,
+            options=PicardOptions(warm_start=False),
+        ).step(f0, dt=0.05)
+        assert warm.total_linear_iterations.sum() < cold.total_linear_iterations.sum()
+        # Same physics either way.
+        np.testing.assert_allclose(warm.f_new, cold.f_new, rtol=1e-6, atol=1e-10)
+
+    def test_warm_start_iterations_decay_across_picard(
+        self, small_grid, small_stencil
+    ):
+        """Table III shape: warm-started electron counts fall with the
+        Picard index."""
+        stepper = PicardStepper(small_grid, mixed_masses(), stencil=small_stencil)
+        f0 = np.tile(off_equilibrium(small_grid), (2, 1))
+        res = stepper.step(f0, dt=0.05)
+        e_iters = res.linear_iterations[:, 0]
+        assert e_iters[-1] < e_iters[0]
+
+    def test_electrons_harder_than_ions(self, small_grid, small_stencil):
+        stepper = PicardStepper(
+            small_grid, mixed_masses(), stencil=small_stencil,
+            options=PicardOptions(warm_start=False),
+        )
+        f0 = np.tile(off_equilibrium(small_grid), (2, 1))
+        res = stepper.step(f0, dt=0.05)
+        assert res.linear_iterations[0, 0] > 2 * res.linear_iterations[0, 1]
+
+    def test_density_conserved_to_paper_threshold(self, small_grid, small_stencil):
+        stepper = PicardStepper(small_grid, mixed_masses(), stencil=small_stencil)
+        f0 = np.tile(off_equilibrium(small_grid), (2, 1))
+        res = stepper.step(f0, dt=0.05)
+        assert res.conservation.all_ok  # density drift < 1e-7
+        assert res.conservation.density_drift.max() < 1e-9
+
+    def test_relaxes_toward_maxwellian(self, small_grid, small_stencil):
+        """Many steps drive the distribution toward its own Maxwellian
+        (temperature anisotropy/kurtosis decays)."""
+        stepper = PicardStepper(
+            small_grid, np.array([ELECTRON.mass]), stencil=small_stencil
+        )
+        f = off_equilibrium(small_grid)[None]
+        mom0 = moments(small_grid, f)
+        f_final, _ = stepper.run(f, dt=0.2, num_steps=25)
+        mom = moments(small_grid, f_final)
+        target = maxwellian(
+            small_grid,
+            density=float(mom.density[0]),
+            temperature=float(mom.temperature[0]),
+            mean_v_par=float(mom.mean_v_par[0]),
+        )
+        rel = np.linalg.norm(f_final[0] - target) / np.linalg.norm(target)
+        rel0 = np.linalg.norm(f[0] - maxwellian(
+            small_grid,
+            density=float(mom0.density[0]),
+            temperature=float(mom0.temperature[0]),
+            mean_v_par=float(mom0.mean_v_par[0]),
+        )) / np.linalg.norm(target)
+        assert rel < 0.2 * rel0
+
+    def test_picard_tol_early_exit(self, small_grid, small_stencil):
+        stepper = PicardStepper(
+            small_grid, mixed_masses(), stencil=small_stencil,
+            options=PicardOptions(num_iterations=10, picard_tol=1e-5),
+        )
+        f0 = np.tile(off_equilibrium(small_grid), (2, 1))
+        res = stepper.step(f0, dt=0.05)
+        assert res.linear_iterations.shape[0] < 10
+
+    def test_csr_and_ell_formats_agree(self, small_grid, small_stencil):
+        f0 = np.tile(off_equilibrium(small_grid), (2, 1))
+        res_ell = PicardStepper(
+            small_grid, mixed_masses(), stencil=small_stencil,
+            options=PicardOptions(matrix_format="ell"),
+        ).step(f0, dt=0.05)
+        res_csr = PicardStepper(
+            small_grid, mixed_masses(), stencil=small_stencil,
+            options=PicardOptions(matrix_format="csr"),
+        ).step(f0, dt=0.05)
+        np.testing.assert_allclose(res_ell.f_new, res_csr.f_new, rtol=1e-8,
+                                   atol=1e-12)
+        np.testing.assert_array_equal(
+            res_ell.linear_iterations, res_csr.linear_iterations
+        )
+
+    def test_shape_validation(self, small_grid, small_stencil):
+        stepper = PicardStepper(small_grid, mixed_masses(), stencil=small_stencil)
+        with pytest.raises(ValueError):
+            stepper.step(np.zeros((3, small_grid.num_cells)), dt=0.05)
+        with pytest.raises(ValueError):
+            stepper.step(
+                np.zeros((2, small_grid.num_cells)), dt=-0.1
+            )
+
+    def test_options_validation(self):
+        with pytest.raises(ValueError):
+            PicardOptions(num_iterations=0)
+        with pytest.raises(ValueError):
+            PicardOptions(matrix_format="coo")
+        with pytest.raises(ValueError):
+            PicardOptions(linear_tol=0.0)
+
+    def test_run_multiple_steps(self, small_grid, small_stencil):
+        stepper = PicardStepper(small_grid, mixed_masses(), stencil=small_stencil)
+        f0 = np.tile(off_equilibrium(small_grid), (2, 1))
+        f_final, results = stepper.run(f0, dt=0.05, num_steps=3)
+        assert len(results) == 3
+        assert f_final.shape == f0.shape
+        # Later steps are closer to equilibrium -> fewer solver iterations.
+        assert (
+            results[-1].total_linear_iterations.sum()
+            <= results[0].total_linear_iterations.sum()
+        )

@@ -1,0 +1,52 @@
+"""Tests for plasma species definitions."""
+
+import numpy as np
+import pytest
+
+from repro.xgc import DEUTERON, ELECTRON, SPECIES_BY_NAME, Species
+
+
+class TestSpecies:
+    def test_electron_normalisation(self):
+        assert ELECTRON.mass == 1.0
+        assert ELECTRON.charge == -1.0
+
+    def test_deuteron_mass_ratio(self):
+        assert DEUTERON.mass == pytest.approx(3671.0)
+        assert DEUTERON.charge == 1.0
+
+    def test_lookup_table(self):
+        assert SPECIES_BY_NAME["electron"] is ELECTRON
+        assert SPECIES_BY_NAME["deuteron"] is DEUTERON
+
+    def test_thermal_speed_scaling(self):
+        """v_t ~ 1/sqrt(m) at fixed T."""
+        ratio = ELECTRON.thermal_speed(1.0) / DEUTERON.thermal_speed(1.0)
+        assert ratio == pytest.approx(np.sqrt(DEUTERON.mass))
+
+    def test_collision_frequency_mass_scaling(self):
+        """nu_e / nu_i = sqrt(m_i / m_e) ~ 60.6 for deuterium — the origin
+        of the electron/ion difficulty gap (Fig. 2, Table III)."""
+        nu_e = ELECTRON.collision_frequency(1.0, 1.0)
+        nu_i = DEUTERON.collision_frequency(1.0, 1.0)
+        assert nu_e / nu_i == pytest.approx(np.sqrt(3671.0))
+        assert 55 < nu_e / nu_i < 65
+
+    def test_collision_frequency_density_temperature_scaling(self):
+        base = ELECTRON.collision_frequency(1.0, 1.0)
+        assert ELECTRON.collision_frequency(2.0, 1.0) == pytest.approx(2 * base)
+        assert ELECTRON.collision_frequency(1.0, 4.0) == pytest.approx(base / 8)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            Species(name="", mass=1.0, charge=0.0)
+        with pytest.raises(ValueError):
+            Species(name="x", mass=0.0, charge=0.0)
+        with pytest.raises(ValueError):
+            ELECTRON.collision_frequency(-1.0, 1.0)
+        with pytest.raises(ValueError):
+            ELECTRON.thermal_speed(0.0)
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            ELECTRON.mass = 2.0

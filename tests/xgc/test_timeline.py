@@ -1,0 +1,71 @@
+"""Tests for the Fig. 1 execution-timeline tracer."""
+
+import pytest
+
+from repro.xgc import simulate_picard_timeline
+
+
+class TestCpuSolverTimeline:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return simulate_picard_timeline(1000, solver="cpu")
+
+    def test_paper_cpu_fraction(self, report):
+        """Fig. 1: ~48% of the Picard loop is CPU work."""
+        assert 0.40 <= report.cpu_fraction <= 0.56
+
+    def test_paper_solve_fraction(self, report):
+        """Fig. 1: ~66% of the CPU time is the dgbsv call."""
+        assert 0.58 <= report.solve_fraction_of_cpu <= 0.74
+
+    def test_paper_transfer_fraction(self, report):
+        """Fig. 1: transfers add ~9%."""
+        assert 0.05 <= report.transfer_fraction <= 0.15
+
+    def test_segments_tile_the_loop(self, report):
+        """Segments are contiguous and non-overlapping (single rank view)."""
+        segs = sorted(report.segments, key=lambda s: s.start)
+        assert segs[0].start == 0.0
+        for a, b in zip(segs, segs[1:]):
+            assert b.start == pytest.approx(a.end)
+
+    def test_five_picard_iterations(self, report):
+        assert sum(1 for s in report.segments if s.label.startswith("dgbsv")) == 5
+
+    def test_lanes_present(self, report):
+        lanes = {s.lane for s in report.segments}
+        assert lanes == {"cpu", "gpu", "h2d", "d2h"}
+
+
+class TestGpuSolverTimeline:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return simulate_picard_timeline(1000, solver="gpu")
+
+    def test_no_cpu_no_transfer(self, report):
+        assert report.cpu_fraction == 0.0
+        assert report.transfer_fraction == 0.0
+
+    def test_faster_than_cpu_configuration(self, report):
+        cpu = simulate_picard_timeline(1000, solver="cpu")
+        assert report.total_time < cpu.total_time
+
+    def test_solve_segments_on_gpu(self, report):
+        solves = [s for s in report.segments if "batched solve" in s.label]
+        assert len(solves) == 5
+        assert all(s.lane == "gpu" for s in solves)
+
+
+class TestValidation:
+    def test_invalid_solver(self):
+        with pytest.raises(ValueError):
+            simulate_picard_timeline(10, solver="fpga")
+
+    def test_invalid_batch(self):
+        with pytest.raises(ValueError):
+            simulate_picard_timeline(0)
+
+    def test_scales_with_batch(self):
+        small = simulate_picard_timeline(100, solver="cpu")
+        large = simulate_picard_timeline(2000, solver="cpu")
+        assert large.total_time > 5 * small.total_time

@@ -21,6 +21,8 @@ from .batch_dense import (
     batch_scale,
 )
 from .batch_ell import PAD_COL, BatchEll
+from .blas import axpby, fused_update, masked_assign, masked_axpy, masked_fill
+from .compaction import BatchCompactor
 from .convert import (
     csr_to_dense,
     csr_to_ell,
@@ -101,6 +103,12 @@ __all__ = [
     "batch_axpy",
     "batch_scale",
     "batch_copy",
+    "axpby",
+    "fused_update",
+    "masked_assign",
+    "masked_axpy",
+    "masked_fill",
+    "BatchCompactor",
     # conversions
     "to_format",
     "csr_to_ell",

@@ -236,6 +236,24 @@ class BatchCsr:
             check=False,
         )
 
+    def take_batch(self, indices: np.ndarray) -> "BatchCsr":
+        """Gather a sub-batch of systems into a compact batch.
+
+        ``indices`` is an integer index array or boolean mask over the batch
+        axis.  The shared sparsity pattern is reused by reference; only the
+        selected systems' values are gathered — this is the host analogue of
+        the GPU gather that active-batch compaction performs when most of a
+        batch has converged.  Each selected system's values are bit-identical
+        to the original, so its SpMV results are unchanged.
+        """
+        return BatchCsr(
+            self.num_cols,
+            self._row_ptrs,
+            self._col_idxs,
+            self._values[np.asarray(indices)],
+            check=False,
+        )
+
     def scale_values(self, factor: float | np.ndarray) -> "BatchCsr":
         """Return a new batch with values scaled per system (or globally)."""
         factor = np.asarray(factor, dtype=DTYPE)

@@ -131,6 +131,14 @@ class BatchDense:
         """Deep copy of the batch."""
         return BatchDense(self._values.copy())
 
+    def take_batch(self, indices: np.ndarray) -> "BatchDense":
+        """Gather a sub-batch of systems into a compact batch.
+
+        ``indices`` is an integer index array or boolean mask over the batch
+        axis; selected systems keep their values bit-for-bit.
+        """
+        return BatchDense(self._values[np.asarray(indices)])
+
     # -- matrix-vector products -------------------------------------------
 
     def apply(self, x: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:

@@ -182,6 +182,19 @@ class BatchEll:
         """Deep copy (shared pattern arrays reused; read-only by contract)."""
         return BatchEll(self.num_cols, self._col_idxs, self._values.copy(), check=False)
 
+    def take_batch(self, indices: np.ndarray) -> "BatchEll":
+        """Gather a sub-batch of systems into a compact batch.
+
+        ``indices`` is an integer index array or boolean mask over the batch
+        axis.  The shared ELL pattern is reused by reference; only the
+        selected systems' (padded) values are gathered, preserving each
+        system's values bit-for-bit (see
+        :meth:`BatchCsr.take_batch <repro.core.batch_csr.BatchCsr.take_batch>`).
+        """
+        return BatchEll(
+            self.num_cols, self._col_idxs, self._values[np.asarray(indices)], check=False
+        )
+
     def scale_values(self, factor: float | np.ndarray) -> "BatchEll":
         """Return a new batch with values scaled per system (or globally)."""
         factor = np.asarray(factor, dtype=DTYPE)

@@ -61,6 +61,21 @@ class BatchLogger:
         self._iterations[newly_converged] = iteration + 1
         self._res_norms[newly_converged] = res_norms[newly_converged]
 
+    def log_converged(
+        self, iteration: int, indices: np.ndarray, res_norms: np.ndarray
+    ) -> None:
+        """Record convergence for systems named by *global* batch indices.
+
+        The compacted solve path works on a gathered sub-batch; it reports
+        convergence with the systems' original batch indices and the
+        already-sliced residual norms.  Semantics match
+        :meth:`log_iteration` exactly.
+        """
+        if self._iterations is None:
+            raise RuntimeError("logger used before initialize()")
+        self._iterations[indices] = iteration + 1
+        self._res_norms[indices] = res_norms
+
     def log_history(self, res_norms: np.ndarray) -> None:
         """Append one per-iteration residual snapshot (when enabled)."""
         if self._history is not None:

@@ -46,6 +46,15 @@ class BatchPreconditioner:
         """Compute ``out[k] = M[k]^{-1} r[k]``."""
         raise NotImplementedError
 
+    def restrict(self, indices: np.ndarray) -> "BatchPreconditioner | None":
+        """A generated-preconditioner view for the sub-batch ``indices``.
+
+        Used by active-batch compaction; the restricted preconditioner must
+        apply bit-identically to the selected systems.  Returns ``None``
+        when a subclass cannot be restricted (compaction is then skipped).
+        """
+        return None
+
 
 class IdentityPreconditioner(BatchPreconditioner):
     """No-op preconditioner: :math:`M^{-1} = I`."""
@@ -61,6 +70,9 @@ class IdentityPreconditioner(BatchPreconditioner):
             return r.copy()
         out[...] = r
         return out
+
+    def restrict(self, indices: np.ndarray) -> "IdentityPreconditioner":
+        return self
 
 
 class JacobiPreconditioner(BatchPreconditioner):
@@ -101,6 +113,13 @@ class JacobiPreconditioner(BatchPreconditioner):
             return r * inv
         np.multiply(r, inv, out=out)
         return out
+
+    def restrict(self, indices: np.ndarray) -> "JacobiPreconditioner | None":
+        if self._inv_diag is None:
+            return None
+        sub = JacobiPreconditioner()
+        sub._inv_diag = self._inv_diag[np.asarray(indices)]
+        return sub
 
 
 class BlockJacobiPreconditioner(BatchPreconditioner):
@@ -168,6 +187,18 @@ class BlockJacobiPreconditioner(BatchPreconditioner):
         if self._tail_inv_diag is not None:
             out[:, nb * bs:] = r[:, nb * bs:] * self._tail_inv_diag
         return out
+
+    def restrict(self, indices: np.ndarray) -> "BlockJacobiPreconditioner | None":
+        if self._inv_blocks is None and self._tail_inv_diag is None:
+            return None
+        idx = np.asarray(indices)
+        sub = BlockJacobiPreconditioner(self.block_size)
+        sub._num_full = self._num_full
+        sub._inv_blocks = None if self._inv_blocks is None else self._inv_blocks[idx]
+        sub._tail_inv_diag = (
+            None if self._tail_inv_diag is None else self._tail_inv_diag[idx]
+        )
+        return sub
 
 
 class Ilu0Preconditioner(BatchPreconditioner):
@@ -270,6 +301,14 @@ class Ilu0Preconditioner(BatchPreconditioner):
                 acc -= np.einsum("bj,bj->b", values[:, d + 1: e], y[:, cols])
             y[:, i] = acc / values[:, d]
         return out
+
+    def restrict(self, indices: np.ndarray) -> "Ilu0Preconditioner | None":
+        if self._csr is None:
+            return None
+        sub = Ilu0Preconditioner()
+        sub._csr = self._csr.take_batch(indices)
+        sub._diag_pos = self._diag_pos
+        return sub
 
 
 _PRECONDITIONERS = {

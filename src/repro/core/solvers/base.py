@@ -21,14 +21,16 @@ import numpy as np
 
 from ...utils.validation import as_f64_array, check_positive
 from ..batch_dense import batch_norm2
+from ..compaction import BatchCompactor
 from ..logging_ import BatchLogger
 from ..preconditioners import (
     BatchPreconditioner,
     IdentityPreconditioner,
     make_preconditioner,
 )
+from ..spmv import residual
 from ..stop import AbsoluteResidual, StoppingCriterion
-from ..types import BatchShape, SolveResult
+from ..types import BatchShape, DimensionMismatch, SolveResult
 from ..workspace import SolverWorkspace
 
 __all__ = ["BatchedIterativeSolver", "safe_divide"]
@@ -69,6 +71,14 @@ class BatchedIterativeSolver:
     logger:
         Optional :class:`~repro.core.logging_.BatchLogger`; one is created
         internally when omitted.
+    compact_threshold:
+        Active-batch compaction trigger: once the active fraction of the
+        batch drops to this value or below, the still-active systems are
+        gathered into a compact sub-batch and iterated alone (results are
+        scattered back on exit).  Per-system numerics are bit-identical
+        either way.  ``None`` disables compaction.
+    compact_min_batch:
+        Never compact batches at or below this size.
     """
 
     name = "abstract"
@@ -79,6 +89,8 @@ class BatchedIterativeSolver:
         criterion: StoppingCriterion | None = None,
         max_iter: int = 500,
         logger: BatchLogger | None = None,
+        compact_threshold: float | None = 0.5,
+        compact_min_batch: int = 4,
     ) -> None:
         if isinstance(preconditioner, str):
             preconditioner = make_preconditioner(preconditioner)
@@ -86,7 +98,15 @@ class BatchedIterativeSolver:
         self.criterion = criterion or AbsoluteResidual(1e-10)
         self.max_iter = int(check_positive(max_iter, "max_iter"))
         self.logger = logger or BatchLogger()
+        if compact_threshold is not None and not 0.0 < compact_threshold <= 1.0:
+            raise ValueError(
+                f"compact_threshold must lie in (0, 1] or be None, "
+                f"got {compact_threshold}"
+            )
+        self.compact_threshold = compact_threshold
+        self.compact_min_batch = int(check_positive(compact_min_batch, "compact_min_batch"))
         self._workspace: SolverWorkspace | None = None
+        self._last_compactor: BatchCompactor | None = None
 
     # -- subclass hook -------------------------------------------------------
 
@@ -109,6 +129,8 @@ class BatchedIterativeSolver:
         matrix,
         b: np.ndarray,
         x0: np.ndarray | None = None,
+        *,
+        workspace: SolverWorkspace | None = None,
     ) -> SolveResult:
         """Solve ``A[k] x[k] = b[k]`` for every system in the batch.
 
@@ -121,6 +143,14 @@ class BatchedIterativeSolver:
         x0:
             Optional initial guesses (same shape); zero when omitted.  The
             array is not modified.
+        workspace:
+            Optional externally owned :class:`~repro.core.workspace.
+            SolverWorkspace` to run the solve in.  A driver performing many
+            solves of the same batch shape (e.g. the Picard loop) threads
+            one arena through all of them so no batch vector is ever
+            reallocated; when omitted the solver keeps its own cached
+            workspace, which is equally allocation-free across same-shape
+            solves.
 
         Returns
         -------
@@ -132,7 +162,16 @@ class BatchedIterativeSolver:
         b = as_f64_array(b, "b", ndim=2)
         shape.compatible_vector(b, "b")
 
-        ws = self._get_workspace(shape.num_batch, shape.num_rows)
+        if workspace is not None:
+            if not workspace.matches(shape.num_batch, shape.num_rows):
+                raise DimensionMismatch(
+                    f"workspace is sized ({workspace.num_batch}, "
+                    f"{workspace.num_rows}) but the batch needs "
+                    f"({shape.num_batch}, {shape.num_rows})"
+                )
+            ws = workspace
+        else:
+            ws = self._get_workspace(shape.num_batch, shape.num_rows)
         x = ws.vector("x")
         if x0 is None:
             x[...] = 0.0
@@ -168,6 +207,27 @@ class BatchedIterativeSolver:
             self._workspace = ws
         return ws
 
+    def _compactor(self, matrix, precond) -> BatchCompactor:
+        """Build the active-batch compactor for one solve.
+
+        Compaction is armed only when the format can gather sub-batches
+        (``take_batch``); unknown criteria/preconditioners disarm it lazily
+        inside :meth:`BatchCompactor.compact` via their ``restrict`` hooks.
+        """
+        comp = BatchCompactor(
+            self.criterion,
+            threshold=self.compact_threshold,
+            min_batch=self.compact_min_batch,
+            enabled=hasattr(matrix, "take_batch"),
+        )
+        self._last_compactor = comp
+        return comp
+
+    @property
+    def last_compaction_events(self) -> int:
+        """Number of compaction events during the most recent solve."""
+        return 0 if self._last_compactor is None else self._last_compactor.num_events
+
     def _init_monitor(
         self, matrix, b: np.ndarray, x: np.ndarray, r: np.ndarray
     ) -> tuple[np.ndarray, np.ndarray]:
@@ -177,8 +237,7 @@ class BatchedIterativeSolver:
         initial guess already satisfies the criterion start out frozen with
         an iteration count of zero.
         """
-        matrix.apply(x, out=r)
-        np.subtract(b, r, out=r)
+        residual(matrix, x, b, out=r)
         res_norms = batch_norm2(r)
         self.criterion.initialize(batch_norm2(b), res_norms)
         converged = self.criterion.check(res_norms)

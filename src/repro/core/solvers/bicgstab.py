@@ -13,6 +13,17 @@ system-individual convergence monitoring:
   bookkeeping (the timing model charges per-system iterations, not the
   loop-trip count).
 
+Two host-performance layers sit on top of the algorithm without touching
+its numerics:
+
+* all masked updates go through the fused, allocation-free helpers in
+  :mod:`repro.core.blas` instead of the ``np.where`` copy idiom, and
+* **active-batch compaction** (:mod:`repro.core.compaction`): once most of
+  the batch has converged, the still-active systems are gathered into a
+  compact sub-batch and iterated alone.  Each system's instruction stream
+  is unchanged, so per-system iteration counts and residuals are
+  bit-identical with compaction on or off.
+
 The mid-iteration early exit on ``||s|| < tau`` (with the ``x += alpha *
 p_hat`` half-step update) is implemented per system as in Algorithm 1.
 
@@ -28,6 +39,8 @@ from __future__ import annotations
 import numpy as np
 
 from ..batch_dense import batch_dot, batch_norm2
+from ..blas import fused_update, masked_assign, masked_axpy, masked_fill
+from ..spmv import residual
 from .base import BatchedIterativeSolver, safe_divide
 
 __all__ = ["BatchBicgstab"]
@@ -47,6 +60,8 @@ class BatchBicgstab(BatchedIterativeSolver):
         s = ws.vector("s")
         s_hat = ws.vector("s_hat")
         t = ws.vector("t")
+        true_r = ws.vector("true_r")
+        work = ws.vector("work")
 
         res_norms, converged = self._init_monitor(matrix, b, x, r)
         r_hat[...] = r
@@ -56,7 +71,11 @@ class BatchBicgstab(BatchedIterativeSolver):
         omega = ws.scalar("omega", fill=1.0)
 
         active = ~converged
+        # `converged` and `final_norms` stay full-size; under compaction the
+        # compactor scatters local results into them by global index.
         final_norms = res_norms.copy()
+        comp = self._compactor(matrix, precond)
+        x_full = x
 
         def verify_and_freeze(candidates, it):
             """Confirm candidate convergences against the true residual.
@@ -66,27 +85,36 @@ class BatchBicgstab(BatchedIterativeSolver):
             is rebuilt from the true residual and they keep iterating.
             Returns ``(confirmed, restarted)`` masks.
             """
-            true_r = matrix.apply(x)
-            np.subtract(b, true_r, out=true_r)
+            residual(matrix, x, b, out=true_r)
             true_norms = batch_norm2(true_r)
-            confirmed = candidates & self.criterion.check(true_norms)
+            confirmed = candidates & comp.criterion.check(true_norms)
             if np.any(confirmed):
-                final_norms[confirmed] = true_norms[confirmed]
-                self.logger.log_iteration(it, final_norms, confirmed)
+                comp.update_norms(final_norms, true_norms, confirmed)
+                comp.log_converged(self.logger, it, true_norms, confirmed)
             restarted = candidates & ~confirmed
             if np.any(restarted):
-                mask = restarted[:, None]
-                r[...] = np.where(mask, true_r, r)
-                r_hat[...] = np.where(mask, true_r, r_hat)
-                p[...] = np.where(mask, 0.0, p)
-                v[...] = np.where(mask, 0.0, v)
-                rho_old[...] = np.where(restarted, 1.0, rho_old)
-                final_norms[restarted] = true_norms[restarted]
+                masked_assign(r, true_r, restarted)
+                masked_assign(r_hat, true_r, restarted)
+                masked_fill(p, 0.0, restarted)
+                masked_fill(v, 0.0, restarted)
+                masked_fill(rho_old, 1.0, restarted)
+                comp.update_norms(final_norms, true_norms, restarted)
             return confirmed, restarted
 
         for it in range(self.max_iter):
             if not np.any(active):
                 break
+
+            if comp.should_compact(active):
+                packed = comp.compact(
+                    active, matrix, b, x_full, x, precond,
+                    vectors=(r, r_hat, p, p_hat, v, s, s_hat, t, true_r, work),
+                    scalars=(rho_old, alpha, omega),
+                )
+                if packed is not None:
+                    (matrix, b, x, precond, active,
+                     (r, r_hat, p, p_hat, v, s, s_hat, t, true_r, work),
+                     (rho_old, alpha, omega)) = packed
 
             # `cont` marks systems executing the rest of THIS iteration;
             # systems restarted mid-iteration sit the remainder out.
@@ -98,9 +126,7 @@ class BatchBicgstab(BatchedIterativeSolver):
 
             # p = r + beta * (p - omega * v)   (restart-safe: beta = 0
             # reduces this to the steepest-descent direction p = r)
-            p -= omega[:, None] * v
-            p *= beta[:, None]
-            p += r
+            fused_update(p, r, beta, omega, v, work=work)
 
             precond.apply(p, out=p_hat)
             matrix.apply(p_hat, out=v)
@@ -114,11 +140,11 @@ class BatchBicgstab(BatchedIterativeSolver):
 
             s_norms = batch_norm2(s)
             # Early exit per system: x += alpha * p_hat, then freeze.
-            s_conv = cont & self.criterion.check(s_norms)
+            s_conv = cont & comp.criterion.check(s_norms)
             if np.any(s_conv):
-                x += np.where(s_conv[:, None], alpha[:, None] * p_hat, 0.0)
+                masked_axpy(x, alpha, p_hat, mask=s_conv, work=work)
                 confirmed, restarted = verify_and_freeze(s_conv, it)
-                converged |= confirmed
+                comp.mark_converged(converged, confirmed)
                 active &= ~confirmed
                 cont &= ~s_conv  # both confirmed and restarted sit out
                 if not np.any(active):
@@ -131,27 +157,26 @@ class BatchBicgstab(BatchedIterativeSolver):
             safe_divide(batch_dot(t, s), batch_dot(t, t), cont, out=omega)
 
             # x += alpha * p_hat + omega * s_hat   (zero steps when frozen
-            # or restarted — their alpha/omega were forced to 0)
-            alpha_eff = np.where(cont, alpha, 0.0)
-            omega_eff = np.where(cont, omega, 0.0)
-            x += alpha_eff[:, None] * p_hat
-            x += omega_eff[:, None] * s_hat
+            # or restarted)
+            masked_axpy(x, alpha, p_hat, mask=cont, work=work)
+            masked_axpy(x, omega, s_hat, mask=cont, work=work)
 
             # r = s - omega * t   (only for continuing systems)
             np.multiply(t, omega[:, None], out=t)
             np.subtract(s, t, out=t)
-            r[...] = np.where(cont[:, None], t, r)
+            masked_assign(r, t, cont)
 
-            rho_old[...] = np.where(cont, rho, rho_old)
+            masked_assign(rho_old, rho, cont)
 
             res_norms = batch_norm2(r)
-            final_norms = np.where(active, res_norms, final_norms)
-            newly = cont & self.criterion.check(res_norms)
+            comp.update_norms(final_norms, res_norms, active)
+            newly = cont & comp.criterion.check(res_norms)
             if np.any(newly):
                 confirmed, _ = verify_and_freeze(newly, it)
-                converged |= confirmed
+                comp.mark_converged(converged, confirmed)
                 active &= ~confirmed
             self.logger.log_history(final_norms)
 
+        comp.finalize(x_full, x)
         self.logger.finalize(final_norms, ~converged, self.max_iter)
         return final_norms, converged

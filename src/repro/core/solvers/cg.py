@@ -3,7 +3,10 @@
 CG is provided for the symmetric-positive-definite problems a batched-solver
 user may bring (the XGC matrices themselves are nonsymmetric, which is why
 the paper's results use BiCGSTAB).  The per-system monitoring machinery is
-identical to :class:`~repro.core.solvers.bicgstab.BatchBicgstab`.
+identical to :class:`~repro.core.solvers.bicgstab.BatchBicgstab`, as are the
+two host-performance layers: fused allocation-free BLAS-1 updates
+(:mod:`repro.core.blas`) and active-batch compaction
+(:mod:`repro.core.compaction`), both bit-identical per system.
 """
 
 from __future__ import annotations
@@ -11,6 +14,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..batch_dense import batch_dot, batch_norm2
+from ..blas import masked_assign, masked_axpy
 from .base import BatchedIterativeSolver, safe_divide
 
 __all__ = ["BatchCg"]
@@ -26,10 +30,13 @@ class BatchCg(BatchedIterativeSolver):
         z = ws.vector("z")
         p = ws.vector("p")
         w = ws.vector("w")
+        work = ws.vector("work")
 
         res_norms, converged = self._init_monitor(matrix, b, x, r)
         active = ~converged
         final_norms = res_norms.copy()
+        comp = self._compactor(matrix, precond)
+        x_full = x
 
         precond.apply(r, out=z)
         p[...] = z
@@ -39,18 +46,30 @@ class BatchCg(BatchedIterativeSolver):
             if not np.any(active):
                 break
 
+            if comp.should_compact(active):
+                packed = comp.compact(
+                    active, matrix, b, x_full, x, precond,
+                    vectors=(r, z, p, w, work),
+                    scalars=(rz_old,),
+                )
+                if packed is not None:
+                    (matrix, b, x, precond, active,
+                     (r, z, p, w, work), (rz_old,)) = packed
+
             matrix.apply(p, out=w)
             alpha = safe_divide(rz_old, batch_dot(p, w), active)
 
-            x += alpha[:, None] * p
-            r -= alpha[:, None] * w
+            # Frozen systems take zero steps: their alpha is already 0.
+            masked_axpy(x, alpha, p, work=work)
+            np.multiply(w, alpha[:, None], out=work)
+            np.subtract(r, work, out=r)
 
             res_norms = batch_norm2(r)
-            final_norms = np.where(active, res_norms, final_norms)
-            newly = active & self.criterion.check(res_norms)
+            comp.update_norms(final_norms, res_norms, active)
+            newly = active & comp.criterion.check(res_norms)
             if np.any(newly):
-                self.logger.log_iteration(it, final_norms, newly)
-                converged |= newly
+                comp.log_converged(self.logger, it, res_norms, newly)
+                comp.mark_converged(converged, newly)
                 active &= ~newly
             self.logger.log_history(final_norms)
             if not np.any(active):
@@ -61,7 +80,8 @@ class BatchCg(BatchedIterativeSolver):
             beta = safe_divide(rz_new, rz_old, active)
             p *= beta[:, None]
             p += z
-            rz_old = np.where(active, rz_new, rz_old)
+            masked_assign(rz_old, rz_new, active)
 
+        comp.finalize(x_full, x)
         self.logger.finalize(final_norms, ~converged, self.max_iter)
         return final_norms, converged

@@ -9,7 +9,8 @@ choice fell on BiCGSTAB.  Having both in the family lets the solver
 comparison example demonstrate that choice.
 
 Per-system monitoring, safe scalar guards and true-residual confirmation
-follow the same scheme as :class:`~repro.core.solvers.bicgstab.BatchBicgstab`.
+follow the same scheme as :class:`~repro.core.solvers.bicgstab.BatchBicgstab`,
+as do the fused allocation-free BLAS-1 updates and active-batch compaction.
 """
 
 from __future__ import annotations
@@ -17,6 +18,8 @@ from __future__ import annotations
 import numpy as np
 
 from ..batch_dense import batch_dot, batch_norm2
+from ..blas import masked_assign, masked_axpy
+from ..spmv import residual
 from .base import BatchedIterativeSolver, safe_divide
 
 __all__ = ["BatchCgs"]
@@ -37,6 +40,8 @@ class BatchCgs(BatchedIterativeSolver):
         uq = ws.vector("uq")
         uq_hat = ws.vector("uq_hat")
         work = ws.vector("cgs_work")
+        scratch = ws.vector("scratch")
+        true_r = ws.vector("true_r")
 
         res_norms, converged = self._init_monitor(matrix, b, x, r)
         r_hat[...] = r
@@ -46,10 +51,23 @@ class BatchCgs(BatchedIterativeSolver):
         rho_old = batch_dot(r_hat, r)
         active = ~converged
         final_norms = res_norms.copy()
+        comp = self._compactor(matrix, precond)
+        x_full = x
 
         for it in range(self.max_iter):
             if not np.any(active):
                 break
+
+            if comp.should_compact(active):
+                packed = comp.compact(
+                    active, matrix, b, x_full, x, precond,
+                    vectors=(r, r_hat, p, u, q, v, uq, uq_hat, work, scratch, true_r),
+                    scalars=(rho_old,),
+                )
+                if packed is not None:
+                    (matrix, b, x, precond, active,
+                     (r, r_hat, p, u, q, v, uq, uq_hat, work, scratch, true_r),
+                     (rho_old,)) = packed
 
             # v = A M^-1 p ; alpha = rho / (r_hat . v)
             precond.apply(p, out=work)
@@ -62,37 +80,36 @@ class BatchCgs(BatchedIterativeSolver):
             np.add(u, q, out=uq)
 
             precond.apply(uq, out=uq_hat)
-            alpha_eff = np.where(active, alpha, 0.0)
-            x += alpha_eff[:, None] * uq_hat
+            # alpha is already 0 for frozen systems (safe_divide).
+            masked_axpy(x, alpha, uq_hat, work=scratch)
 
             # r -= alpha A M^-1 (u + q)
             matrix.apply(uq_hat, out=work)
-            r -= alpha_eff[:, None] * work
+            np.multiply(work, alpha[:, None], out=scratch)
+            np.subtract(r, scratch, out=r)
 
             res_norms = batch_norm2(r)
-            final_norms = np.where(active, res_norms, final_norms)
-            newly = active & self.criterion.check(res_norms)
+            comp.update_norms(final_norms, res_norms, active)
+            newly = active & comp.criterion.check(res_norms)
             if np.any(newly):
                 # Confirm against the true residual (CGS recursions drift
                 # even more readily than BiCGSTAB's).
-                true_r = matrix.apply(x)
-                np.subtract(b, true_r, out=true_r)
+                residual(matrix, x, b, out=true_r)
                 true_norms = batch_norm2(true_r)
-                confirmed = newly & self.criterion.check(true_norms)
+                confirmed = newly & comp.criterion.check(true_norms)
                 if np.any(confirmed):
-                    final_norms[confirmed] = true_norms[confirmed]
-                    self.logger.log_iteration(it, final_norms, confirmed)
-                    converged |= confirmed
+                    comp.update_norms(final_norms, true_norms, confirmed)
+                    comp.log_converged(self.logger, it, true_norms, confirmed)
+                    comp.mark_converged(converged, confirmed)
                     active &= ~confirmed
                 restarted = newly & ~confirmed
                 if np.any(restarted):
-                    mask = restarted[:, None]
-                    r[...] = np.where(mask, true_r, r)
-                    r_hat[...] = np.where(mask, true_r, r_hat)
-                    u[...] = np.where(mask, true_r, u)
-                    p[...] = np.where(mask, true_r, p)
+                    masked_assign(r, true_r, restarted)
+                    masked_assign(r_hat, true_r, restarted)
+                    masked_assign(u, true_r, restarted)
+                    masked_assign(p, true_r, restarted)
                     rho_old[restarted] = batch_dot(r_hat, r)[restarted]
-                    final_norms[restarted] = true_norms[restarted]
+                    comp.update_norms(final_norms, true_norms, restarted)
                     # Skip the direction update this iteration for them.
                     active_now = active & ~restarted
                 else:
@@ -108,11 +125,16 @@ class BatchCgs(BatchedIterativeSolver):
             beta = safe_divide(rho, rho_old, active_now)
 
             # u = r + beta q ; p = u + beta (q + beta p)
-            mask = active_now[:, None]
-            u[...] = np.where(mask, r + beta[:, None] * q, u)
-            work[...] = q + beta[:, None] * p
-            p[...] = np.where(mask, u + beta[:, None] * work, p)
-            rho_old = np.where(active_now, rho, rho_old)
+            np.multiply(q, beta[:, None], out=scratch)
+            scratch += r
+            masked_assign(u, scratch, active_now)
+            np.multiply(p, beta[:, None], out=scratch)
+            scratch += q
+            np.multiply(scratch, beta[:, None], out=scratch)
+            scratch += u
+            masked_assign(p, scratch, active_now)
+            masked_assign(rho_old, rho, active_now)
 
+        comp.finalize(x_full, x)
         self.logger.finalize(final_norms, ~converged, self.max_iter)
         return final_norms, converged

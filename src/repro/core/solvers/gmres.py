@@ -12,6 +12,12 @@ shared, as on the GPU), but each system's solution update only uses its own
 recorded subspace size, and logged iteration counts are per system.  True
 residuals are recomputed at every restart boundary, so an optimistic
 estimate can never mark an unconverged system as done.
+
+Active-batch compaction happens at restart boundaries only: the Krylov
+state is rebuilt from the true residual there anyway, so gathering the
+still-active systems between cycles changes nothing in any system's
+instruction stream — iteration counts stay bit-identical while the basis,
+Hessenberg, and Givens arrays shrink to the active sub-batch.
 """
 
 from __future__ import annotations
@@ -20,6 +26,7 @@ import numpy as np
 
 from ...utils.validation import check_positive
 from ..batch_dense import batch_dot, batch_norm2
+from ..spmv import residual
 from .base import BatchedIterativeSolver, safe_divide
 
 __all__ = ["BatchGmres"]
@@ -45,25 +52,45 @@ class BatchGmres(BatchedIterativeSolver):
         m = min(self.restart, n)
 
         r = ws.vector("r")
+        work = ws.vector("gmres_work")
+        upd = ws.vector("gmres_upd")
         res_norms, converged = self._init_monitor(matrix, b, x, r)
         active = ~converged
         final_norms = res_norms.copy()
+        comp = self._compactor(matrix, precond)
+        x_full = x
 
-        # Krylov basis and Hessenberg storage (reused across cycles).
+        # Krylov basis and Hessenberg storage (reused across cycles,
+        # reallocated at the compact size after a compaction event).
         basis = np.zeros((m + 1, nb, n))
         hess = np.zeros((nb, m + 1, m))  # becomes R after Givens
         givens_c = np.zeros((nb, m))
         givens_s = np.zeros((nb, m))
         g = np.zeros((nb, m + 1))
         y = np.zeros((nb, m))
-        work = ws.vector("gmres_work")
 
         total_it = 0
         logged = converged.copy()
         while total_it < self.max_iter and np.any(active):
+            # -- compact at the cycle boundary (no Krylov state carries over)
+            if comp.should_compact(active):
+                packed = comp.compact(
+                    active, matrix, b, x_full, x, precond,
+                    vectors=(r, work, upd),
+                    scalars=(logged,),
+                )
+                if packed is not None:
+                    (matrix, b, x, precond, active, (r, work, upd), (logged,)) = packed
+                    nb = x.shape[0]
+                    basis = np.zeros((m + 1, nb, n))
+                    hess = np.zeros((nb, m + 1, m))
+                    givens_c = np.zeros((nb, m))
+                    givens_s = np.zeros((nb, m))
+                    g = np.zeros((nb, m + 1))
+                    y = np.zeros((nb, m))
+
             # -- start a cycle from the true residual ------------------------
-            matrix.apply(x, out=r)
-            np.subtract(b, r, out=r)
+            residual(matrix, x, b, out=r)
             beta = batch_norm2(r)
             inv_beta = safe_divide(np.ones(nb), beta, active)
             basis[0] = r * inv_beta[:, None]
@@ -115,12 +142,15 @@ class BatchGmres(BatchedIterativeSolver):
                 used = np.where(cycle_active, j + 1, used)
 
                 est = np.abs(g[:, j + 1])
-                newly = cycle_active & self.criterion.check(est)
+                newly = cycle_active & comp.criterion.check(est)
                 if np.any(newly):
-                    self.logger.log_iteration(total_it + j, est, newly)
+                    comp.log_converged(self.logger, total_it + j, est, newly)
                     logged |= newly
                     cycle_active &= ~newly
-                self.logger.log_history(np.where(active, est, final_norms))
+                if self.logger.record_history:
+                    snap = final_norms.copy()
+                    comp.update_norms(snap, est, active)
+                    self.logger.log_history(snap)
                 j_done = j + 1
                 if not np.any(cycle_active):
                     break
@@ -143,27 +173,29 @@ class BatchGmres(BatchedIterativeSolver):
             work[...] = 0.0
             for jj in range(j_done):
                 work += y[:, jj][:, None] * basis[jj]
-            update = precond.apply(work)
-            x += np.where(active[:, None], update, 0.0)
+            precond.apply(work, out=upd)
+            np.add(x, upd, out=x, where=active[:, None])
 
             # -- recompute true residuals at the restart boundary ------------
-            matrix.apply(x, out=r)
-            np.subtract(b, r, out=r)
+            residual(matrix, x, b, out=r)
             res_norms = batch_norm2(r)
-            final_norms = np.where(active, res_norms, final_norms)
-            true_conv = active & self.criterion.check(res_norms)
+            comp.update_norms(final_norms, res_norms, active)
+            true_conv = active & comp.criterion.check(res_norms)
             if np.any(true_conv):
                 # Systems the estimate already caught keep their mid-cycle
                 # iteration count; systems it lagged on are logged now.
                 est_missed = true_conv & ~logged
                 if np.any(est_missed):
-                    self.logger.log_iteration(total_it - 1, final_norms, est_missed)
+                    comp.log_converged(
+                        self.logger, total_it - 1, res_norms, est_missed
+                    )
                     logged |= est_missed
-                converged |= true_conv
+                comp.mark_converged(converged, true_conv)
                 active &= ~true_conv
             # Systems whose estimate was optimistic stay active; their
             # (premature) logged count will be overwritten next cycle.
             logged &= ~active
 
+        comp.finalize(x_full, x)
         self.logger.finalize(final_norms, ~converged, self.max_iter)
         return final_norms, converged

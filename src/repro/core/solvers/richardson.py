@@ -3,7 +3,9 @@
 The simplest preconditionable iterative method: ``x += relax * M^-1 r``.
 With the Jacobi preconditioner this is damped Jacobi relaxation.  Useful as
 a smoke-test solver, as a smoother, and as the cheapest point in the
-solver-composability space the Ginkgo design exposes.
+solver-composability space the Ginkgo design exposes.  Like every iterative
+solver here it runs masked updates through :mod:`repro.core.blas` and
+compacts the batch once most systems have converged.
 """
 
 from __future__ import annotations
@@ -12,6 +14,8 @@ import numpy as np
 
 from ...utils.validation import check_positive
 from ..batch_dense import batch_norm2
+from ..blas import masked_axpy
+from ..spmv import residual
 from .base import BatchedIterativeSolver
 
 __all__ = ["BatchRichardson"]
@@ -35,30 +39,41 @@ class BatchRichardson(BatchedIterativeSolver):
     def _iterate(self, matrix, b, x, precond, ws):
         r = ws.vector("r")
         z = ws.vector("z")
+        work = ws.vector("work")
 
         res_norms, converged = self._init_monitor(matrix, b, x, r)
         active = ~converged
         final_norms = res_norms.copy()
+        comp = self._compactor(matrix, precond)
+        x_full = x
 
         for it in range(self.max_iter):
             if not np.any(active):
                 break
 
+            if comp.should_compact(active):
+                packed = comp.compact(
+                    active, matrix, b, x_full, x, precond,
+                    vectors=(r, z, work),
+                )
+                if packed is not None:
+                    (matrix, b, x, precond, active, (r, z, work), _) = packed
+
             precond.apply(r, out=z)
             # Frozen systems take a zero step.
-            x += np.where(active[:, None], self.relaxation * z, 0.0)
+            masked_axpy(x, self.relaxation, z, mask=active, work=work)
 
-            matrix.apply(x, out=r)
-            np.subtract(b, r, out=r)
+            residual(matrix, x, b, out=r)
 
             res_norms = batch_norm2(r)
-            final_norms = np.where(active, res_norms, final_norms)
-            newly = active & self.criterion.check(res_norms)
+            comp.update_norms(final_norms, res_norms, active)
+            newly = active & comp.criterion.check(res_norms)
             if np.any(newly):
-                self.logger.log_iteration(it, final_norms, newly)
-                converged |= newly
+                comp.log_converged(self.logger, it, res_norms, newly)
+                comp.mark_converged(converged, newly)
                 active &= ~newly
             self.logger.log_history(final_norms)
 
+        comp.finalize(x_full, x)
         self.logger.finalize(final_norms, ~converged, self.max_iter)
         return final_norms, converged

@@ -48,8 +48,20 @@ def advanced_spmv(
     return matrix.advanced_apply(alpha, x, beta, y)
 
 
-def residual(matrix: BatchMatrix, x: np.ndarray, b: np.ndarray) -> np.ndarray:
-    """Batched residual ``r[k] = b[k] - A[k] @ x[k]`` (newly allocated)."""
-    r = matrix.apply(x)
+def residual(
+    matrix: BatchMatrix,
+    x: np.ndarray,
+    b: np.ndarray,
+    out: np.ndarray | None = None,
+) -> np.ndarray:
+    """Batched residual ``r[k] = b[k] - A[k] @ x[k]``.
+
+    When ``out`` is given (typically a :class:`~repro.core.workspace.
+    SolverWorkspace` vector) the residual is formed entirely in that buffer
+    and no batch-vector-sized allocation happens — the convergence checks of
+    the iterative solvers call this once per confirmation, so the hot path
+    stays allocation-free.
+    """
+    r = matrix.apply(x, out=out)
     np.subtract(b, r, out=r)
     return r

@@ -51,6 +51,15 @@ class StoppingCriterion:
         """Per-system absolute thresholds currently in force."""
         raise NotImplementedError
 
+    def restrict(self, indices: np.ndarray) -> "StoppingCriterion | None":
+        """A criterion view for the sub-batch selected by ``indices``.
+
+        Used by active-batch compaction: the restricted criterion must make
+        bit-identical decisions for the selected systems.  Returns ``None``
+        when a subclass cannot be restricted (compaction is then skipped).
+        """
+        return None
+
 
 class AbsoluteResidual(StoppingCriterion):
     """Converged when ``||r_k|| < tol`` (paper default, tol = 1e-10)."""
@@ -72,6 +81,15 @@ class AbsoluteResidual(StoppingCriterion):
         if self._num_batch is None:
             raise RuntimeError("criterion used before initialize()")
         return np.full(self._num_batch, self.tol)
+
+    def restrict(self, indices: np.ndarray) -> "AbsoluteResidual":
+        sub = AbsoluteResidual(self.tol)
+        if self._num_batch is not None:
+            idx = np.asarray(indices)
+            sub._num_batch = (
+                int(np.count_nonzero(idx)) if idx.dtype == bool else int(idx.shape[0])
+            )
+        return sub
 
 
 class RelativeResidual(StoppingCriterion):
@@ -101,6 +119,13 @@ class RelativeResidual(StoppingCriterion):
             raise RuntimeError("criterion used before initialize()")
         return self._thresholds
 
+    def restrict(self, indices: np.ndarray) -> "RelativeResidual | None":
+        if self._thresholds is None:
+            return None
+        sub = RelativeResidual(self.factor)
+        sub._thresholds = self._thresholds[np.asarray(indices)]
+        return sub
+
 
 class CombinedCriterion(StoppingCriterion):
     """OR-combination of several criteria (any one satisfied => converged)."""
@@ -125,6 +150,12 @@ class CombinedCriterion(StoppingCriterion):
     def thresholds(self) -> np.ndarray:
         # The effective threshold is the loosest (max) of the components.
         return np.maximum.reduce([c.thresholds() for c in self.criteria])
+
+    def restrict(self, indices: np.ndarray) -> "CombinedCriterion | None":
+        parts = [c.restrict(indices) for c in self.criteria]
+        if any(p is None for p in parts):
+            return None
+        return CombinedCriterion(*parts)
 
 
 def make_criterion(kind: str, value: float) -> StoppingCriterion:

@@ -1,0 +1,144 @@
+"""Tests for the fused, allocation-free batched BLAS-1 helpers."""
+
+import numpy as np
+import pytest
+
+from repro.core import axpby, fused_update, masked_assign, masked_axpy, masked_fill
+
+NB, N = 7, 13
+
+
+@pytest.fixture
+def arrays(rng):
+    return {
+        "x": rng.standard_normal((NB, N)),
+        "y": rng.standard_normal((NB, N)),
+        "v": rng.standard_normal((NB, N)),
+        "alpha": rng.standard_normal(NB),
+        "beta": rng.standard_normal(NB),
+        "omega": rng.standard_normal(NB),
+        "mask": rng.random(NB) < 0.5,
+        "work": np.empty((NB, N)),
+    }
+
+
+class TestMaskedAssign:
+    def test_matches_where(self, arrays):
+        a = arrays
+        expected = np.where(a["mask"][:, None], a["x"], a["y"])
+        out = masked_assign(a["y"].copy(), a["x"], a["mask"])
+        np.testing.assert_array_equal(out, expected)
+
+    def test_in_place_and_untouched_rows(self, arrays):
+        a = arrays
+        dst = a["y"].copy()
+        ret = masked_assign(dst, a["x"], a["mask"])
+        assert ret is dst
+        np.testing.assert_array_equal(dst[~a["mask"]], a["y"][~a["mask"]])
+
+    def test_per_system_scalars(self, arrays):
+        a = arrays
+        dst = a["alpha"].copy()
+        masked_assign(dst, a["beta"], a["mask"])
+        np.testing.assert_array_equal(
+            dst, np.where(a["mask"], a["beta"], a["alpha"])
+        )
+
+
+class TestMaskedFill:
+    def test_matches_where(self, arrays):
+        a = arrays
+        dst = a["y"].copy()
+        masked_fill(dst, 3.5, a["mask"])
+        np.testing.assert_array_equal(
+            dst, np.where(a["mask"][:, None], 3.5, a["y"])
+        )
+
+
+class TestMaskedAxpy:
+    def test_matches_reference(self, arrays):
+        a = arrays
+        expected = a["y"] + np.where(
+            a["mask"][:, None], a["alpha"][:, None] * a["x"], 0.0
+        )
+        out = masked_axpy(
+            a["y"].copy(), a["alpha"], a["x"], mask=a["mask"], work=a["work"]
+        )
+        np.testing.assert_array_equal(out, expected)
+
+    def test_unmasked(self, arrays):
+        a = arrays
+        out = masked_axpy(a["y"].copy(), a["alpha"], a["x"], work=a["work"])
+        np.testing.assert_array_equal(out, a["y"] + a["alpha"][:, None] * a["x"])
+
+    def test_scalar_alpha(self, arrays):
+        a = arrays
+        out = masked_axpy(a["y"].copy(), 0.25, a["x"], work=a["work"])
+        np.testing.assert_array_equal(out, a["y"] + 0.25 * a["x"])
+
+    def test_allocates_nothing_with_work(self, rng):
+        import tracemalloc
+
+        nb, n = 64, 512  # big enough that one batch vector dwarfs bookkeeping
+        x = rng.standard_normal((nb, n))
+        y = rng.standard_normal((nb, n))
+        work = np.empty_like(x)
+        alpha = rng.standard_normal(nb)
+        mask = rng.random(nb) < 0.5
+        masked_axpy(y, alpha, x, mask=mask, work=work)
+        tracemalloc.start()
+        masked_axpy(y, alpha, x, mask=mask, work=work)
+        _, peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        # Bookkeeping-size allocations only (mask reshape etc.), no batch
+        # vector (nb * n * 8 bytes) temporaries.
+        assert peak < nb * n * 8
+
+
+class TestAxpby:
+    def test_matches_reference(self, arrays):
+        a = arrays
+        expected = a["alpha"][:, None] * a["x"] + a["beta"][:, None] * a["y"]
+        out = axpby(a["alpha"], a["x"], a["beta"], a["y"], work=a["work"])
+        np.testing.assert_array_equal(out, expected)
+
+    def test_out_aliases_x(self, arrays):
+        a = arrays
+        expected = a["alpha"][:, None] * a["x"] + a["beta"][:, None] * a["y"]
+        x = a["x"].copy()
+        ret = axpby(a["alpha"], x, a["beta"], a["y"], out=x, work=a["work"])
+        assert ret is x
+        np.testing.assert_array_equal(x, expected)
+
+    def test_out_aliases_y(self, arrays):
+        a = arrays
+        expected = a["alpha"][:, None] * a["x"] + a["beta"][:, None] * a["y"]
+        y = a["y"].copy()
+        ret = axpby(a["alpha"], a["x"], a["beta"], y, out=y, work=a["work"])
+        assert ret is y
+        np.testing.assert_array_equal(y, expected)
+
+    def test_x_is_y(self, arrays):
+        a = arrays
+        x = a["x"].copy()
+        expected = (a["alpha"] + a["beta"])[:, None] * a["x"]
+        out = axpby(a["alpha"], x, a["beta"], x, out=x, work=a["work"])
+        np.testing.assert_allclose(out, expected, rtol=1e-14)
+
+
+class TestFusedUpdate:
+    def test_matches_bicgstab_direction_update(self, arrays):
+        a = arrays
+        expected = a["x"] + a["beta"][:, None] * (
+            a["y"] - a["omega"][:, None] * a["v"]
+        )
+        p = a["y"].copy()
+        ret = fused_update(p, a["x"], a["beta"], a["omega"], a["v"], work=a["work"])
+        assert ret is p
+        np.testing.assert_allclose(p, expected, rtol=1e-14)
+
+    def test_zero_beta_resets_direction(self, arrays):
+        a = arrays
+        p = a["y"].copy()
+        fused_update(p, a["x"], 0.0, a["omega"], a["v"], work=a["work"])
+        np.testing.assert_array_equal(p, a["x"])

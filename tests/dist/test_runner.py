@@ -1,11 +1,19 @@
 """Tests for the simulated multi-rank proxy-app execution."""
 
+import functools
+
 import numpy as np
 import pytest
 
 from repro.dist import run_distributed
 from repro.xgc import PicardStepper, VelocityGrid, CollisionStencil, maxwellian
 from repro.xgc.species import DEUTERON, ELECTRON
+
+
+def _spawnable_factory(masses, idx):
+    """Module-level factory: picklable, so it can cross a process boundary."""
+    grid = VelocityGrid(nv_par=10, nv_perp=9)
+    return PicardStepper(grid, masses[idx])
 
 
 @pytest.fixture(scope="module")
@@ -71,4 +79,39 @@ class TestRunDistributed:
         grid, masses, f0, factory = setup
         run = run_distributed(factory, f0, 0.05, 16)  # > batch size? 8 < 16
         assert run.makespan_s > 0
+        assert run.gather_f().shape == f0.shape
+
+
+class TestParallelExecution:
+    def test_process_pool_matches_sequential(self, setup):
+        """Rank problems are independent: the process-pool path returns the
+        same distributions and modelled times as the sequential path."""
+        grid, masses, f0, _ = setup
+        factory = functools.partial(_spawnable_factory, masses)
+        seq = run_distributed(factory, f0, 0.05, 2, parallel=False)
+        par = run_distributed(factory, f0, 0.05, 2, parallel=True, max_workers=2)
+        np.testing.assert_allclose(
+            par.gather_f(), seq.gather_f(), rtol=1e-12, atol=1e-14
+        )
+        for rs, rp in zip(seq.rank_results, par.rank_results):
+            np.testing.assert_array_equal(rs.linear_iterations, rp.linear_iterations)
+            assert rs.modelled_time_s == pytest.approx(rp.modelled_time_s)
+
+    def test_unpicklable_factory_falls_back(self, setup):
+        """Closure factories cannot cross process boundaries; the runner
+        must quietly run them in-process even when parallel is forced."""
+        grid, masses, f0, factory = setup  # `factory` is a closure
+        seq = run_distributed(factory, f0, 0.05, 2, parallel=False)
+        par = run_distributed(factory, f0, 0.05, 2, parallel=True)
+        np.testing.assert_allclose(
+            par.gather_f(), seq.gather_f(), rtol=1e-12, atol=1e-14
+        )
+
+    def test_auto_mode_stays_sequential_below_threshold(self, setup):
+        """Small batches never pay process start-up (the default path the
+        rest of this suite exercises)."""
+        grid, masses, f0, factory = setup
+        run = run_distributed(
+            factory, f0, 0.05, 2, parallel=None, parallel_threshold=64
+        )
         assert run.gather_f().shape == f0.shape

@@ -54,12 +54,16 @@ def _cmd_demo(args) -> int:
     from repro.core import AbsoluteResidual, BatchBicgstab
     from repro.gpu import GPUS, SKYLAKE_NODE, estimate_cpu_dgbsv, \
         estimate_iterative_solve
-    from repro.xgc import CollisionProxyApp, ProxyAppConfig
+    from repro.xgc import CollisionProxyApp, PicardOptions, ProxyAppConfig
 
-    app = CollisionProxyApp(ProxyAppConfig(num_mesh_nodes=args.nodes))
+    app = CollisionProxyApp(ProxyAppConfig(
+        num_mesh_nodes=args.nodes,
+        picard=PicardOptions(matrix_format=args.format),
+    ))
     matrix, rhs = app.build_matrices()
     print(f"assembled {matrix.num_batch} collision systems "
-          f"({matrix.num_rows} rows, 9-point stencil)")
+          f"({matrix.num_rows} rows, 9-point stencil, "
+          f"{args.format.upper()} format)")
 
     solver = BatchBicgstab(preconditioner="jacobi",
                            criterion=AbsoluteResidual(1e-10), max_iter=500)
@@ -69,11 +73,13 @@ def _cmd_demo(args) -> int:
 
     nb = args.batch
     its = np.tile(res.iterations, nb // res.iterations.size + 1)[:nb]
-    print(f"\nmodelled solve times at batch size {nb} (ELL format):")
+    stored = getattr(matrix, "stored_per_system", None)
+    print(f"\nmodelled solve times at batch size {nb} "
+          f"({args.format.upper()} format):")
     for hw in GPUS:
         est = estimate_iterative_solve(
-            hw, "ell", matrix.num_rows, app.stencil.nnz, its,
-            stored_nnz=matrix.max_nnz_row * matrix.num_rows,
+            hw, args.format, matrix.num_rows, app.stencil.nnz, its,
+            stored_nnz=stored,
         )
         print(f"  {hw.name:<7} {est.total_time_s * 1e3:9.3f} ms")
     cpu = estimate_cpu_dgbsv(SKYLAKE_NODE, matrix.num_rows, 33, 33, nb)
@@ -82,9 +88,12 @@ def _cmd_demo(args) -> int:
 
 
 def _cmd_picard(args) -> int:
-    from repro.xgc import CollisionProxyApp, ProxyAppConfig
+    from repro.xgc import CollisionProxyApp, PicardOptions, ProxyAppConfig
 
-    app = CollisionProxyApp(ProxyAppConfig(num_mesh_nodes=args.nodes))
+    app = CollisionProxyApp(ProxyAppConfig(
+        num_mesh_nodes=args.nodes,
+        picard=PicardOptions(matrix_format=args.format),
+    ))
     result = app.run(args.steps)
     by = result.linear_iterations_by_species(app.config)
     print("linear iterations per Picard iteration (batch mean):")
@@ -136,9 +145,13 @@ def main(argv=None) -> int:
     demo.add_argument("--nodes", type=int, default=4, help="mesh nodes")
     demo.add_argument("--batch", type=int, default=1920,
                       help="projected batch size")
+    demo.add_argument("--format", choices=("csr", "ell", "dia"),
+                      default="ell", help="batch matrix format")
     picard = sub.add_parser("picard", help="Picard loop report (Table III)")
     picard.add_argument("--nodes", type=int, default=4)
     picard.add_argument("--steps", type=int, default=1)
+    picard.add_argument("--format", choices=("csr", "ell", "dia"),
+                        default="ell", help="batch matrix format")
     sub.add_parser("tune", help="automatic solver configuration report")
     rep = sub.add_parser("reproduce", help="regenerate all paper artefacts")
     rep.add_argument("--out", default="results", help="output directory")

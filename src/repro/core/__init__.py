@@ -2,8 +2,8 @@
 
 Public surface:
 
-* Formats: :class:`BatchCsr`, :class:`BatchEll`, :class:`BatchDense`
-  (shared sparsity pattern, per-system values).
+* Formats: :class:`BatchCsr`, :class:`BatchEll`, :class:`BatchDia`,
+  :class:`BatchDense` (shared sparsity pattern, per-system values).
 * Kernels: :func:`spmv`, :func:`advanced_spmv`, the batched BLAS-1 helpers.
 * Solvers: :func:`make_solver` / :class:`BatchBicgstab` et al., plus the
   direct baselines (:class:`BatchBandedLu`, :class:`BatchBandedQr`).
@@ -20,16 +20,23 @@ from .batch_dense import (
     batch_norm2,
     batch_scale,
 )
+from .batch_dia import BatchDia
 from .batch_ell import PAD_COL, BatchEll
 from .blas import axpby, fused_update, masked_assign, masked_axpy, masked_fill
 from .compaction import BatchCompactor
 from .convert import (
     csr_to_dense,
+    csr_to_dia,
     csr_to_ell,
     dense_to_csr,
+    dense_to_dia,
     dense_to_ell,
+    dia_to_csr,
+    dia_to_dense,
+    dia_to_ell,
     ell_to_csr,
     ell_to_dense,
+    ell_to_dia,
     to_format,
 )
 from .logging_ import BatchLogger
@@ -91,6 +98,7 @@ __all__ = [
     # formats
     "BatchCsr",
     "BatchEll",
+    "BatchDia",
     "BatchDense",
     "PAD_COL",
     # kernels
@@ -117,6 +125,12 @@ __all__ = [
     "ell_to_dense",
     "dense_to_csr",
     "dense_to_ell",
+    "csr_to_dia",
+    "dia_to_csr",
+    "ell_to_dia",
+    "dia_to_ell",
+    "dia_to_dense",
+    "dense_to_dia",
     # solvers
     "make_solver",
     "BatchBicgstab",

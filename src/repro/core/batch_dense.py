@@ -160,18 +160,26 @@ class BatchDense:
         x: np.ndarray,
         beta: float | np.ndarray,
         y: np.ndarray,
+        *,
+        work: np.ndarray | None = None,
     ) -> np.ndarray:
-        """In-place ``y[k] = alpha*A[k]@x[k] + beta*y[k]`` (batched GEMV)."""
+        """In-place fused ``y[k] = alpha*A[k]@x[k] + beta*y[k]`` (batched GEMV).
+
+        ``work`` is an optional ``(num_batch, num_rows)`` scratch buffer
+        that receives the product; with it the update is allocation-free.
+        ``work`` must not alias ``x`` or ``y``.
+        """
         self._shape.compatible_vector(x, "x")
-        ax = np.einsum("bij,bj->bi", self._values, x, optimize=True)
+        ax = np.einsum("bij,bj->bi", self._values, x, optimize=True, out=work)
         alpha = np.asarray(alpha, dtype=DTYPE)
         beta = np.asarray(beta, dtype=DTYPE)
         if alpha.ndim == 1:
             alpha = alpha[:, None]
         if beta.ndim == 1:
             beta = beta[:, None]
-        y *= beta
-        y += alpha * ax
+        np.multiply(ax, alpha, out=ax)
+        np.multiply(y, beta, out=y)
+        np.add(y, ax, out=y)
         return y
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

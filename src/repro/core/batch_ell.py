@@ -81,6 +81,10 @@ class BatchEll:
         self._col_idxs = col_idxs
         self._values = values
         self._shape = BatchShape(values.shape[0], num_rows, int(num_cols))
+        # Clamped gather indices, computed once: the SpMV gather reads these
+        # every call, and re-deriving them per apply() would allocate and
+        # re-scan the whole index array on the hottest loop in the library.
+        self._gather_cols = np.maximum(col_idxs, 0)
 
     # -- attributes ------------------------------------------------------
 
@@ -218,7 +222,7 @@ class BatchEll:
             out = np.zeros((self.num_batch, self.num_rows), dtype=DTYPE)
         else:
             out[...] = 0.0
-        cols = np.maximum(self._col_idxs, 0)  # clamp sentinel; value 0 kills it
+        cols = self._gather_cols  # pre-clamped sentinel; value 0 kills it
         for k in range(self.max_nnz_row):
             out += self._values[:, k, :] * x[:, cols[k]]
         return out
@@ -229,17 +233,25 @@ class BatchEll:
         x: np.ndarray,
         beta: float | np.ndarray,
         y: np.ndarray,
+        *,
+        work: np.ndarray | None = None,
     ) -> np.ndarray:
-        """In-place ``y[k] = alpha*A[k]@x[k] + beta*y[k]``."""
-        ax = self.apply(x)
+        """In-place fused ``y[k] = alpha*A[k]@x[k] + beta*y[k]``.
+
+        ``work`` is an optional ``(num_batch, num_rows)`` scratch buffer
+        that receives the product; with it the update is allocation-free.
+        ``work`` must not alias ``x`` or ``y``.
+        """
+        ax = self.apply(x, out=work)
         alpha = np.asarray(alpha, dtype=DTYPE)
         beta = np.asarray(beta, dtype=DTYPE)
         if alpha.ndim == 1:
             alpha = alpha[:, None]
         if beta.ndim == 1:
             beta = beta[:, None]
-        y *= beta
-        y += alpha * ax
+        np.multiply(ax, alpha, out=ax)
+        np.multiply(y, beta, out=y)
+        np.add(y, ax, out=y)
         return y
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

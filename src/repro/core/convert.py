@@ -5,6 +5,12 @@ explicitly-stored zeros) except ``*_to_dense`` which materialises, and
 ``dense_to_*`` which drops entries that are zero in *every* system (union
 pattern).  Round trips ``csr -> ell -> csr`` and ``csr -> dense -> csr``
 on matrices whose stored entries are non-zero are exact.
+
+DIA is the one format that widens the pattern: ``*_to_dia`` stores every
+*diagonal* that carries at least one entry, so positions on a stored
+diagonal that the source pattern skipped become explicit zeros, and
+``dia_to_csr``/``dia_to_ell`` report the full in-band pattern back.
+Values and matrix-vector products round-trip exactly either way.
 """
 
 from __future__ import annotations
@@ -13,6 +19,7 @@ import numpy as np
 
 from .batch_csr import BatchCsr
 from .batch_dense import BatchDense
+from .batch_dia import BatchDia
 from .batch_ell import PAD_COL, BatchEll
 from .types import DTYPE, INDEX_DTYPE
 
@@ -23,6 +30,12 @@ __all__ = [
     "ell_to_dense",
     "dense_to_csr",
     "dense_to_ell",
+    "csr_to_dia",
+    "dia_to_csr",
+    "ell_to_dia",
+    "dia_to_ell",
+    "dia_to_dense",
+    "dense_to_dia",
     "to_format",
 ]
 
@@ -90,13 +103,108 @@ def dense_to_ell(matrix: BatchDense, *, tol: float = 0.0) -> BatchEll:
     return BatchEll.from_dense(matrix.values, tol=tol)
 
 
+def csr_to_dia(matrix: BatchCsr) -> BatchDia:
+    """Convert shared-pattern CSR to shared-offset DIA.
+
+    One band per distinct ``col - row`` in the pattern; in-band positions
+    the CSR pattern skipped (e.g. the boundary holes of the XGC stencil)
+    become explicit zeros.
+    """
+    rows = np.repeat(
+        np.arange(matrix.num_rows, dtype=np.int64), matrix.nnz_per_row()
+    )
+    diag_of = matrix.col_idxs.astype(np.int64) - rows
+    offsets = np.unique(diag_of)
+    if offsets.size == 0:
+        offsets = np.zeros(1, dtype=np.int64)
+    bands = np.zeros(
+        (matrix.num_batch, offsets.size, matrix.num_rows), dtype=DTYPE
+    )
+    slot = np.searchsorted(offsets, diag_of)
+    bands[:, slot, rows] = matrix.values
+    return BatchDia(matrix.num_cols, offsets, bands, check=False)
+
+
+def _dia_entries(matrix: BatchDia):
+    """All in-band (rows, cols, values) of a DIA batch, CSR entry order."""
+    rows_parts, cols_parts, slots = [], [], []
+    for k, d, lo, hi in matrix._spans:
+        if lo >= hi:
+            continue
+        r = np.arange(lo, hi, dtype=np.int64)
+        rows_parts.append(r)
+        cols_parts.append(r + d)
+        slots.append(np.full(r.size, k, dtype=np.int64))
+    rows = np.concatenate(rows_parts)
+    cols = np.concatenate(cols_parts)
+    slot = np.concatenate(slots)
+    order = np.lexsort((cols, rows))
+    rows, cols, slot = rows[order], cols[order], slot[order]
+    return rows, cols, matrix.values[:, slot, rows]
+
+
+def dia_to_csr(matrix: BatchDia) -> BatchCsr:
+    """Convert DIA to shared-pattern CSR over the full in-band pattern.
+
+    Every in-band position of every stored diagonal is emitted (stored
+    zeros included) — the honest stored pattern of the DIA batch, not the
+    possibly-sparser pattern it was built from.
+    """
+    rows, cols, vals = _dia_entries(matrix)
+    row_counts = np.bincount(rows, minlength=matrix.num_rows)
+    row_ptrs = np.zeros(matrix.num_rows + 1, dtype=INDEX_DTYPE)
+    np.cumsum(row_counts, out=row_ptrs[1:])
+    return BatchCsr(
+        matrix.num_cols, row_ptrs, cols.astype(INDEX_DTYPE), vals, check=False
+    )
+
+
+def ell_to_dia(matrix: BatchEll) -> BatchDia:
+    """Convert shared-pattern ELL directly to shared-offset DIA."""
+    slot, rows = np.nonzero(matrix.col_idxs != PAD_COL)
+    cols = matrix.col_idxs[slot, rows].astype(np.int64)
+    diag_of = cols - rows
+    offsets = np.unique(diag_of)
+    if offsets.size == 0:
+        offsets = np.zeros(1, dtype=np.int64)
+    bands = np.zeros(
+        (matrix.num_batch, offsets.size, matrix.num_rows), dtype=DTYPE
+    )
+    bands[:, np.searchsorted(offsets, diag_of), rows] = matrix.values[:, slot, rows]
+    return BatchDia(matrix.num_cols, offsets, bands, check=False)
+
+
+def dia_to_ell(matrix: BatchDia) -> BatchEll:
+    """Convert DIA to shared-pattern ELL (full in-band pattern)."""
+    return csr_to_ell(dia_to_csr(matrix))
+
+
+def dia_to_dense(matrix: BatchDia) -> BatchDense:
+    """Materialise a DIA batch as dense."""
+    out = np.zeros((matrix.num_batch, matrix.num_rows, matrix.num_cols), dtype=DTYPE)
+    rows, cols, vals = _dia_entries(matrix)
+    out[:, rows, cols] = vals
+    return BatchDense(out)
+
+
+def dense_to_dia(matrix: BatchDense, *, tol: float = 0.0) -> BatchDia:
+    """Compress a dense batch to DIA over the union diagonal set."""
+    return BatchDia.from_dense(matrix.values, tol=tol)
+
+
 _CONVERTERS = {
     ("csr", "ell"): csr_to_ell,
     ("csr", "dense"): csr_to_dense,
+    ("csr", "dia"): csr_to_dia,
     ("ell", "csr"): ell_to_csr,
     ("ell", "dense"): ell_to_dense,
+    ("ell", "dia"): ell_to_dia,
     ("dense", "csr"): dense_to_csr,
     ("dense", "ell"): dense_to_ell,
+    ("dense", "dia"): dense_to_dia,
+    ("dia", "csr"): dia_to_csr,
+    ("dia", "ell"): dia_to_ell,
+    ("dia", "dense"): dia_to_dense,
 }
 
 
@@ -113,5 +221,5 @@ def to_format(matrix, format_name: str):
     except KeyError:
         raise ValueError(
             f"no conversion from {src!r} to {format_name!r}; "
-            f"known formats: csr, ell, dense"
+            f"known formats: csr, ell, dia, dense"
         ) from None

@@ -6,6 +6,7 @@ protocol every batch-matrix format implements (``apply`` /
 free-function entry points plus a tiny protocol check, so user code can pass
 any of :class:`~repro.core.batch_csr.BatchCsr`,
 :class:`~repro.core.batch_ell.BatchEll`,
+:class:`~repro.core.batch_dia.BatchDia`,
 :class:`~repro.core.batch_dense.BatchDense`, or a custom format.
 """
 
@@ -42,10 +43,23 @@ def spmv(matrix: BatchMatrix, x: np.ndarray, out: np.ndarray | None = None) -> n
 
 
 def advanced_spmv(
-    alpha, matrix: BatchMatrix, x: np.ndarray, beta, y: np.ndarray
+    alpha,
+    matrix: BatchMatrix,
+    x: np.ndarray,
+    beta,
+    y: np.ndarray,
+    work: np.ndarray | None = None,
 ) -> np.ndarray:
-    """Batched ``y[k] = alpha * A[k] @ x[k] + beta * y[k]`` (in place)."""
-    return matrix.advanced_apply(alpha, x, beta, y)
+    """Batched ``y[k] = alpha * A[k] @ x[k] + beta * y[k]`` (in place).
+
+    ``work`` is an optional ``(num_batch, num_rows)`` scratch buffer the
+    product lands in; with it the built-in formats perform the fused update
+    allocation-free.  It is only forwarded when given, so custom formats
+    whose ``advanced_apply`` predates the parameter keep working.
+    """
+    if work is None:
+        return matrix.advanced_apply(alpha, x, beta, y)
+    return matrix.advanced_apply(alpha, x, beta, y, work=work)
 
 
 def residual(

@@ -90,14 +90,20 @@ class KernelWork:
 def spmv_work(num_rows: int, nnz: int, fmt: str, *, stored_nnz: int | None = None) -> KernelWork:
     """One batched SpMV, per system.
 
-    ``stored_nnz`` covers ELL padding (stored entries can exceed the true
-    non-zero count); defaults to ``nnz``.
+    ``stored_nnz`` covers ELL/DIA padding (stored entries can exceed the
+    true non-zero count); defaults to ``nnz``.  The DIA kernel reads no
+    column indices at all — its index metadata is one offset per stored
+    diagonal (``stored / num_rows`` of them) — but pays the padded-fringe
+    flops and value traffic like ELL pays its padding.
     """
     stored = nnz if stored_nnz is None else stored_nnz
     if fmt == "csr":
         index_bytes = (stored + num_rows + 1) * INDEX_BYTES
     elif fmt == "ell":
         index_bytes = stored * INDEX_BYTES
+    elif fmt == "dia":
+        num_diags = max(stored // max(num_rows, 1), 1)
+        index_bytes = num_diags * INDEX_BYTES
     elif fmt == "dense":
         stored = num_rows * num_rows
         index_bytes = 0

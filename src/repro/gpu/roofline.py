@@ -99,12 +99,13 @@ def solver_roofline_report(
 ) -> list[RooflinePoint]:
     """Roofline points for the kernels of the paper's comparison.
 
-    Covers the batched SpMV (both formats), one BiCGSTAB iteration (with
-    the §IV-D placement and cache model applied, so the intensity reflects
-    *post-cache* traffic), the banded QR, and the dense LU.
+    Covers the batched SpMV (all three sparse formats), one BiCGSTAB
+    iteration (with the §IV-D placement and cache model applied, so the
+    intensity reflects *post-cache* traffic), the banded QR, and the dense
+    LU.
     """
     points = []
-    for fmt, stored in (("csr", None), ("ell", stored_nnz)):
+    for fmt, stored in (("csr", None), ("ell", stored_nnz), ("dia", stored_nnz)):
         w = spmv_work(num_rows, nnz, fmt, stored_nnz=stored)
         points.append(analyze_kernel(hw, f"spmv-{fmt}", w))
 

@@ -136,7 +136,7 @@ def estimate_iterative_solve(
     hw:
         Target GPU.
     fmt:
-        ``"csr"`` or ``"ell"``.
+        ``"csr"``, ``"ell"``, or ``"dia"``.
     num_rows, nnz:
         Per-system dimensions (true non-zeros).
     iterations:
@@ -159,11 +159,11 @@ def estimate_iterative_solve(
     setup_work = bicgstab_setup_work(num_rows, nnz, fmt, stored_nnz=stored_nnz)
 
     stored = nnz if stored_nnz is None else stored_nnz
-    value_b, index_b = 8, 4
+    value_b = 8
     uniq_mat = stored * value_b
-    uniq_idx = (
-        (stored + num_rows + 1) * index_b if fmt == "csr" else stored * index_b
-    )
+    # Unique shared index metadata is format-specific (DIA: offsets only);
+    # take it from the per-SpMV work model rather than re-deriving it here.
+    uniq_idx = spmv_work(num_rows, nnz, fmt, stored_nnz=stored_nnz).index_bytes
     mean_iters = float(iterations.mean()) if num_batch else 1.0
     active = min(num_batch, occ.total_slots)
     mem = estimate_memory(

@@ -5,8 +5,10 @@ also provide an automatic tuning strategy depending on the size of the
 matrix."  This module is that strategy: given the problem dimensions and
 the target GPU, it decides
 
-* the **matrix format** — ELL when the rows are (near-)uniform so padding
-  is cheap and the thread-per-row kernel applies; CSR otherwise
+* the **matrix format** — DIA when the pattern is a small set of constant
+  diagonals (the stencil case: no index loads at all, the smallest cached
+  working set); else ELL when the rows are (near-)uniform so padding is
+  cheap and the thread-per-row kernel applies; CSR otherwise
   (Section IV-A/IV-E);
 * the **thread-block size** — proportional to the system size ("each
   thread block contains a number of threads proportional to the size of an
@@ -44,6 +46,15 @@ MAX_THREADS_PER_BLOCK = 1024
 #: Padding overhead above which ELL stops paying for itself.
 ELL_PADDING_LIMIT = 0.5
 
+#: Stored diagonals up to which the gather-free DIA kernel is preferred:
+#: beyond one warp's worth of diagonals the per-thread sweep stops being a
+#: short unrolled loop and the fringe padding typically grows too.
+DIA_DIAG_LIMIT = 32
+
+#: Fringe-padding overhead above which DIA stops paying for itself
+#: (same trade as ELL: padded values are streamed and multiplied).
+DIA_PADDING_LIMIT = 0.5
+
 #: Systems below this row count are "small": the fused one-kernel design
 #: (all iterations inside one launch) is the right call.
 FUSED_ROW_LIMIT = 8192
@@ -56,7 +67,7 @@ class TuningDecision:
     Attributes
     ----------
     fmt:
-        Chosen matrix format (``"ell"`` or ``"csr"``).
+        Chosen matrix format (``"dia"``, ``"ell"`` or ``"csr"``).
     threads_per_block:
         Block size (warp multiple).
     rows_per_thread:
@@ -87,13 +98,31 @@ def _choose_format(
     nnz_row_max: int,
     warp_size: int,
     padding_fraction: float,
+    num_diags: int | None = None,
+    dia_padding_fraction: float | None = None,
 ) -> tuple[str, str]:
-    """ELL when the padding it buys is cheap, CSR otherwise.
+    """DIA for compact diagonal patterns, else ELL when padding is cheap,
+    CSR otherwise.
 
     ``padding_fraction`` is the fraction of stored ELL entries that would
     be padding: the exact value when the caller knows the row-length
     distribution, the worst-case ``1 - min/max`` bound otherwise.
+    ``num_diags``/``dia_padding_fraction`` describe the diagonal structure
+    when the caller inspected the pattern (``tune_for_matrix`` does); with
+    no diagonal information the choice falls back to the ELL/CSR policy.
     """
+    if (
+        num_diags is not None
+        and num_diags <= DIA_DIAG_LIMIT
+        and (dia_padding_fraction or 0.0) <= DIA_PADDING_LIMIT
+    ):
+        return "dia", (
+            f"pattern is {num_diags} constant diagonals "
+            f"({100 * (dia_padding_fraction or 0.0):.0f}% fringe padding): "
+            "gather-free DIA reads no column indices — index metadata "
+            f"shrinks to {num_diags} offsets and the cached working set "
+            "is the smallest of the three formats"
+        )
     if padding_fraction <= ELL_PADDING_LIMIT:
         return "ell", (
             f"rows are near-uniform ({nnz_row_min}-{nnz_row_max} nnz, "
@@ -121,6 +150,8 @@ def tune_batched_solver(
     solver: str = "bicgstab",
     value_bytes: int = 8,
     padding_fraction: float | None = None,
+    num_diags: int | None = None,
+    dia_padding_fraction: float | None = None,
 ) -> TuningDecision:
     """Derive the full kernel configuration for a batched solve.
 
@@ -138,6 +169,11 @@ def tune_batched_solver(
         Exact ELL padding fraction when the row-length distribution is
         known (``tune_for_matrix`` supplies it); defaults to the
         worst-case ``1 - min/max`` bound.
+    num_diags, dia_padding_fraction:
+        Diagonal structure of the pattern, when known: the number of
+        constant diagonals carrying entries and the fringe-padding
+        fraction of the DIA bands.  Enables the gather-free DIA choice;
+        omitted (the default), the ELL/CSR policy applies unchanged.
     """
     check_positive(num_rows, "num_rows")
     check_positive(nnz_row_min, "nnz_row_min")
@@ -147,10 +183,13 @@ def tune_batched_solver(
         padding_fraction = 1.0 - nnz_row_min / nnz_row_max
     if not 0.0 <= padding_fraction < 1.0:
         raise ValueError("padding_fraction must be in [0, 1)")
+    if dia_padding_fraction is not None and not 0.0 <= dia_padding_fraction < 1.0:
+        raise ValueError("dia_padding_fraction must be in [0, 1)")
 
     rationale: dict[str, str] = {}
     fmt, why = _choose_format(
-        nnz_row_min, nnz_row_max, hw.warp_size, padding_fraction
+        nnz_row_min, nnz_row_max, hw.warp_size, padding_fraction,
+        num_diags, dia_padding_fraction,
     )
     rationale["format"] = why
 
@@ -183,6 +222,15 @@ def tune_batched_solver(
             f"{storage.shared_bytes_used} B of shared memory "
             f"(budget {budget} B, SpMV vectors first)"
         )
+    if fmt == "dia" and num_diags is not None:
+        # The gather-free kernel's read-only working set has no per-entry
+        # index array; quantify what that frees for the cache model.
+        ell_index_bytes = num_diags * num_rows * 4
+        rationale["working_set"] = (
+            f"index working set is {num_diags * 4} B (offsets only) vs "
+            f"~{ell_index_bytes} B of ELL column indices: the freed L1/L2 "
+            "capacity re-hits matrix values and spilled vectors instead"
+        )
 
     occ = compute_occupancy(hw, storage.shared_bytes_used, threads)
 
@@ -210,11 +258,13 @@ def tune_batched_solver(
 def tune_for_matrix(hw: GpuSpec, matrix, *, solver: str = "bicgstab") -> TuningDecision:
     """Tune directly from a batch matrix (inspects its pattern).
 
-    Knowing the full row-length distribution, the exact ELL padding
-    fraction drives the format choice — the XGC pattern (9 nnz on interior
-    rows, short boundary rows) selects ELL here even though its worst-case
-    min/max bound alone would not.
+    Knowing the full pattern, the exact padding fractions and the diagonal
+    structure drive the format choice — the XGC pattern (9 constant
+    diagonals, ~4% fringe padding) selects the gather-free DIA format
+    here, where the dimension-only entry point would still pick ELL.
     """
+    import numpy as np
+
     from ..core.convert import to_format
 
     csr = to_format(matrix, "csr")
@@ -224,6 +274,12 @@ def tune_for_matrix(hw: GpuSpec, matrix, *, solver: str = "bicgstab") -> TuningD
     lo = max(int(nnz_row.min()), 1)
     hi = int(nnz_row.max())
     padding = 1.0 - float(nnz_row.mean()) / hi
+
+    rows = np.repeat(np.arange(csr.num_rows, dtype=np.int64), nnz_row)
+    offsets = np.unique(csr.col_idxs.astype(np.int64) - rows)
+    num_diags = int(offsets.size)
+    dia_padding = 1.0 - csr.nnz_per_system / (num_diags * csr.num_rows)
     return tune_batched_solver(
-        hw, csr.num_rows, lo, hi, solver=solver, padding_fraction=padding
+        hw, csr.num_rows, lo, hi, solver=solver, padding_fraction=padding,
+        num_diags=num_diags, dia_padding_fraction=dia_padding,
     )

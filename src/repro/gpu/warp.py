@@ -56,10 +56,15 @@ def ell_spmv_utilization(num_rows: int, warp_size: int) -> float:
 
 
 def spmv_utilization(fmt: str, num_rows: int, nnz_per_row: int, hw: GpuSpec) -> float:
-    """SpMV lane utilisation for a format on a GPU."""
+    """SpMV lane utilisation for a format on a GPU.
+
+    DIA shares ELL's thread-per-row geometry (each thread walks its row's
+    stored diagonals), so its lane utilisation is identical; the formats
+    differ in the traffic model, not the warp geometry.
+    """
     if fmt == "csr":
         return csr_spmv_utilization(nnz_per_row, hw.warp_size)
-    if fmt in ("ell", "dense"):
+    if fmt in ("ell", "dia", "dense"):
         return ell_spmv_utilization(num_rows, hw.warp_size)
     raise ValueError(f"unknown format {fmt!r}")
 

@@ -35,6 +35,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..core.batch_csr import BatchCsr
+from ..core.batch_dia import BatchDia
 from ..core.batch_ell import BatchEll
 from ..core.convert import csr_to_ell
 from ..core.types import DTYPE, INDEX_DTYPE
@@ -66,6 +67,9 @@ class CollisionStencil:
         self._build_east_faces()
         self._build_north_faces()
         self._finalize()
+        # DIA-layout pattern and templates, built lazily on the first
+        # assemble_dia() call (once per grid, like the CSR pattern).
+        self._dia_templates: np.ndarray | None = None
 
     # -- public API -------------------------------------------------------
 
@@ -83,12 +87,8 @@ class CollisionStencil:
         """Row lengths of the shared pattern (9 for interior rows)."""
         return np.diff(self.row_ptrs)
 
-    def assemble(self, coeffs: CollisionCoefficients) -> BatchCsr:
-        """Assemble the batched backward-Euler matrix ``M = I - dt*C_lin``.
-
-        One GEMM: the per-batch coefficient matrix against the geometric
-        template matrix.
-        """
+    def _coefficient_matrix(self, coeffs: CollisionCoefficients) -> np.ndarray:
+        """Per-batch template weights, shape ``(num_batch, 5)``."""
         c = np.empty((coeffs.num_batch, len(_TEMPLATES)), dtype=DTYPE)
         dt_nu = coeffs.dt * coeffs.nu
         c[:, 0] = 1.0  # identity
@@ -96,7 +96,15 @@ class CollisionStencil:
         c[:, 2] = -dt_nu * coeffs.eta  # pitch-angle tensor
         c[:, 3] = -dt_nu  # drift, v-proportional part
         c[:, 4] = dt_nu * coeffs.u_par  # drift, -u part (sign folded in)
-        values = c @ self.templates
+        return c
+
+    def assemble(self, coeffs: CollisionCoefficients) -> BatchCsr:
+        """Assemble the batched backward-Euler matrix ``M = I - dt*C_lin``.
+
+        One GEMM: the per-batch coefficient matrix against the geometric
+        template matrix.
+        """
+        values = self._coefficient_matrix(coeffs) @ self.templates
         return BatchCsr(
             self.num_rows, self.row_ptrs, self.col_idxs, values, check=False
         )
@@ -104,6 +112,44 @@ class CollisionStencil:
     def assemble_ell(self, coeffs: CollisionCoefficients) -> BatchEll:
         """Assemble directly into the ELL format (same values, ELL layout)."""
         return csr_to_ell(self.assemble(coeffs))
+
+    def assemble_dia(self, coeffs: CollisionCoefficients) -> BatchDia:
+        """Assemble directly into the gather-free DIA format.
+
+        The union pattern is mapped onto diagonal offsets once per grid
+        (:meth:`_ensure_dia_templates`); after that every assembly is the
+        same single GEMM as :meth:`assemble`, with the values landing in
+        band layout — zero index manipulation per Picard iteration.
+        """
+        dia_templates = self._ensure_dia_templates()
+        values = (self._coefficient_matrix(coeffs) @ dia_templates).reshape(
+            coeffs.num_batch, self.dia_offsets.size, self.num_rows
+        )
+        return BatchDia(self.num_rows, self.dia_offsets, values, check=False)
+
+    def _ensure_dia_templates(self) -> np.ndarray:
+        """Scatter the union-pattern templates into DIA band layout (once).
+
+        Produces ``dia_offsets`` (the stencil's constant diagonals — 9 for
+        an interior 9-point stencil) and a ``(5, num_diags * num_rows)``
+        template matrix whose GEMM output *is* the band values array; the
+        boundary rows' missing entries simply stay zero in every template,
+        so partially-filled diagonals need no special casing.
+        """
+        if self._dia_templates is None:
+            n = self.num_rows
+            rows = np.repeat(np.arange(n, dtype=np.int64), self.nnz_per_row())
+            diag_of = self.col_idxs.astype(np.int64) - rows
+            # int32 (the format's index dtype) so every assembled BatchDia
+            # shares this array by reference, like the CSR pattern arrays.
+            self.dia_offsets = np.unique(diag_of).astype(np.int32)
+            slot = np.searchsorted(self.dia_offsets, diag_of)
+            scattered = np.zeros(
+                (len(_TEMPLATES), self.dia_offsets.size, n), dtype=DTYPE
+            )
+            scattered[:, slot, rows] = self.templates
+            self._dia_templates = scattered.reshape(len(_TEMPLATES), -1)
+        return self._dia_templates
 
     # -- template construction ------------------------------------------------
 

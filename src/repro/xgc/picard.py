@@ -59,7 +59,8 @@ class PicardOptions:
     max_linear_iter:
         Inner-solver iteration cap.
     matrix_format:
-        ``"ell"`` (paper's best) or ``"csr"``.
+        ``"ell"`` (paper's best), ``"csr"``, or ``"dia"`` (the gather-free
+        stencil format; identical numerics, lowest host SpMV cost).
     preconditioner:
         Preconditioner name for the inner solver (paper: ``"jacobi"``).
     picard_tol:
@@ -91,7 +92,7 @@ class PicardOptions:
         check_positive(self.num_iterations, "num_iterations")
         check_positive(self.linear_tol, "linear_tol")
         check_positive(self.max_linear_iter, "max_linear_iter")
-        check_in(self.matrix_format, ("ell", "csr"), "matrix_format")
+        check_in(self.matrix_format, ("ell", "csr", "dia"), "matrix_format")
         if self.compact_threshold is not None and not 0.0 < self.compact_threshold <= 1.0:
             raise ValueError(
                 f"compact_threshold must lie in (0, 1] or be None, "
@@ -201,6 +202,8 @@ class PicardStepper:
         )
         if self.options.matrix_format == "ell":
             return self.stencil.assemble_ell(coeffs)
+        if self.options.matrix_format == "dia":
+            return self.stencil.assemble_dia(coeffs)
         return self.stencil.assemble(coeffs)
 
     def step(self, f_n: np.ndarray, dt: float) -> PicardStepResult:

@@ -101,6 +101,27 @@ class TestApply:
         got = ell_batch.advanced_apply(alpha, x, 3.0, y.copy())
         np.testing.assert_allclose(got, expected, rtol=1e-12)
 
+    def test_advanced_apply_work_buffer(self, rng, ell_batch):
+        """The optional scratch buffer changes allocation, not the result,
+        and the update lands in ``y`` itself."""
+        nb, n = ell_batch.num_batch, ell_batch.num_rows
+        x = rng.standard_normal((nb, n))
+        y = rng.standard_normal((nb, n))
+        work = np.empty((nb, n))
+        without = ell_batch.advanced_apply(2.0, x, -1.0, y.copy())
+        y_in = y.copy()
+        with_work = ell_batch.advanced_apply(2.0, x, -1.0, y_in, work=work)
+        np.testing.assert_array_equal(with_work, without)
+        assert with_work is y_in
+
+    def test_gather_indices_cached_at_construction(self):
+        """Padded columns are pre-clamped once, not per apply call."""
+        m = tiny_ell()
+        cached = m._gather_cols
+        m.apply(np.ones((2, 3)))
+        assert m._gather_cols is cached
+        np.testing.assert_array_equal(cached, np.maximum(m.col_idxs, 0))
+
     def test_out_parameter_reset(self, rng, ell_batch):
         x = rng.standard_normal((ell_batch.num_batch, ell_batch.num_cols))
         out = np.full((ell_batch.num_batch, ell_batch.num_rows), 7.0)

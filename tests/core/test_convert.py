@@ -10,13 +10,23 @@ from repro.core import (
     BatchCsr,
     BatchDense,
     csr_to_dense,
+    csr_to_dia,
     csr_to_ell,
     dense_to_csr,
+    dense_to_dia,
     dense_to_ell,
+    dia_to_csr,
+    dia_to_ell,
     ell_to_csr,
     ell_to_dense,
+    ell_to_dia,
     to_format,
 )
+
+
+@pytest.fixture
+def dia_batch(csr_batch):
+    return to_format(csr_batch, "dia")
 
 
 class TestPairwise:
@@ -48,20 +58,52 @@ class TestPairwise:
         for k in range(e.num_batch):
             np.testing.assert_array_equal(e.entry_dense(k), dense_batch[k])
 
+    def test_csr_to_dia_values(self, csr_batch, dense_batch):
+        dia = csr_to_dia(csr_batch)
+        for k in range(dia.num_batch):
+            np.testing.assert_array_equal(dia.entry_dense(k), dense_batch[k])
+
+    def test_ell_to_dia_matches_csr_to_dia(self, csr_batch, ell_batch):
+        via_csr = csr_to_dia(csr_batch)
+        via_ell = ell_to_dia(ell_batch)
+        np.testing.assert_array_equal(via_ell.offsets, via_csr.offsets)
+        np.testing.assert_array_equal(via_ell.values, via_csr.values)
+
+    def test_dia_to_csr_widens_to_in_band_pattern(self, csr_batch, dense_batch):
+        """dia_to_csr reports the full in-band pattern (stored zeros
+        included), so the pattern may widen — the values must not."""
+        back = dia_to_csr(csr_to_dia(csr_batch))
+        assert back.nnz_per_system >= csr_batch.nnz_per_system
+        for k in range(back.num_batch):
+            np.testing.assert_array_equal(back.entry_dense(k), dense_batch[k])
+
+    def test_dia_to_ell_entries(self, dia_batch, dense_batch):
+        ell = dia_to_ell(dia_batch)
+        for k in range(ell.num_batch):
+            np.testing.assert_array_equal(ell.entry_dense(k), dense_batch[k])
+
+    def test_dense_to_dia_roundtrip(self, dense_batch):
+        dia = dense_to_dia(BatchDense(dense_batch))
+        for k in range(dia.num_batch):
+            np.testing.assert_array_equal(dia.entry_dense(k), dense_batch[k])
+
 
 class TestToFormat:
-    @pytest.mark.parametrize("target", ["csr", "ell", "dense"])
-    def test_identity_returns_same_object(self, csr_batch, ell_batch,
+    @pytest.mark.parametrize("target", ["csr", "ell", "dia", "dense"])
+    def test_identity_returns_same_object(self, csr_batch, ell_batch, dia_batch,
                                           dense_fmt_batch, target):
-        src = {"csr": csr_batch, "ell": ell_batch, "dense": dense_fmt_batch}[target]
+        src = {"csr": csr_batch, "ell": ell_batch, "dia": dia_batch,
+               "dense": dense_fmt_batch}[target]
         assert to_format(src, target) is src
 
-    @pytest.mark.parametrize("src_name", ["csr", "ell", "dense"])
-    @pytest.mark.parametrize("dst_name", ["csr", "ell", "dense"])
+    @pytest.mark.parametrize("src_name", ["csr", "ell", "dia", "dense"])
+    @pytest.mark.parametrize("dst_name", ["csr", "ell", "dia", "dense"])
     def test_all_pairs_preserve_values(
-        self, csr_batch, ell_batch, dense_fmt_batch, dense_batch, src_name, dst_name
+        self, csr_batch, ell_batch, dia_batch, dense_fmt_batch, dense_batch,
+        src_name, dst_name
     ):
-        src = {"csr": csr_batch, "ell": ell_batch, "dense": dense_fmt_batch}[src_name]
+        src = {"csr": csr_batch, "ell": ell_batch, "dia": dia_batch,
+               "dense": dense_fmt_batch}[src_name]
         dst = to_format(src, dst_name)
         assert dst.format_name == dst_name
         for k in range(dst.num_batch):
@@ -121,6 +163,37 @@ class TestPropertyBased:
             np.testing.assert_array_equal(
                 back.entry_dense(k), ell.entry_dense(k)
             )
+
+    @given(dense=sparse_batches())
+    @settings(max_examples=60, deadline=None)
+    def test_dense_dia_dense_roundtrip(self, dense):
+        from repro.core import BatchDia, dia_to_dense
+
+        m = BatchDia.from_dense(dense)
+        np.testing.assert_array_equal(dia_to_dense(m).values, dense)
+
+    @given(dense=sparse_batches())
+    @settings(max_examples=60, deadline=None)
+    def test_csr_dia_agree_on_spmv(self, dense):
+        csr = BatchCsr.from_dense(dense)
+        dia = csr_to_dia(csr)
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal((csr.num_batch, csr.num_cols))
+        np.testing.assert_allclose(
+            csr.apply(x), dia.apply(x), rtol=1e-12, atol=1e-12
+        )
+
+    @given(dense=sparse_batches())
+    @settings(max_examples=60, deadline=None)
+    def test_dia_csr_dia_preserves_entries(self, dense):
+        """DIA -> CSR -> DIA is stable: the widened in-band pattern is a
+        fixed point, so bands and offsets round-trip exactly."""
+        from repro.core import BatchDia
+
+        dia = BatchDia.from_dense(dense)
+        back = csr_to_dia(dia_to_csr(dia))
+        np.testing.assert_array_equal(back.offsets, dia.offsets)
+        np.testing.assert_array_equal(back.values, dia.values)
 
     @given(dense=sparse_batches())
     @settings(max_examples=40, deadline=None)

@@ -28,6 +28,23 @@ class TestSpmvWork:
         assert csr.index_bytes == (900 + 101) * 4
         assert ell.index_bytes == 900 * 4
 
+    def test_dia_reads_offsets_only(self):
+        """DIA's index metadata is one offset per stored diagonal — not one
+        column index per stored entry."""
+        w = spmv_work(100, 850, "dia", stored_nnz=900)
+        assert w.index_bytes == 9 * 4  # 900 stored / 100 rows = 9 diagonals
+        assert w.flops == 2 * 900  # fringe padding is computed like ELL's
+        assert w.matrix_bytes == 900 * 8
+
+    def test_dia_traffic_lowest_on_stencil(self):
+        """On the paper's pattern DIA moves strictly the least bytes."""
+        csr = spmv_work(992, 8554, "csr")
+        ell = spmv_work(992, 8554, "ell", stored_nnz=8928)
+        dia = spmv_work(992, 8554, "dia", stored_nnz=8928)
+        assert dia.index_bytes == 9 * 4
+        assert dia.total_bytes < ell.total_bytes
+        assert dia.total_bytes < csr.total_bytes
+
     def test_dense_has_no_index_traffic(self):
         w = spmv_work(50, 0, "dense")
         assert w.index_bytes == 0

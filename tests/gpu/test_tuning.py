@@ -10,17 +10,47 @@ import numpy as np
 
 
 class TestFormatChoice:
-    def test_xgc_matrices_select_ell(self, paper_app):
-        """The paper's matrices (9-pt stencil, short boundary rows) must
-        land on ELL — the format every headline result uses."""
+    def test_xgc_matrices_select_dia(self, paper_app):
+        """Inspecting the paper's matrices reveals the 9-diagonal stencil
+        structure, so the pattern-aware entry point upgrades the choice
+        from ELL to the gather-free DIA format on every GPU."""
         matrix, _ = paper_app.build_matrices()
         for hw in (V100, A100, MI100):
-            assert tune_for_matrix(hw, matrix).fmt == "ell"
+            d = tune_for_matrix(hw, matrix)
+            assert d.fmt == "dia"
+            assert "9 constant diagonals" in d.rationale["format"]
+            assert "working_set" in d.rationale
 
     def test_uniform_rows_select_ell(self):
+        """Without diagonal information the policy is unchanged: ELL for
+        near-uniform rows (dimension-only callers never see DIA)."""
         d = tune_batched_solver(V100, 1000, 9, 9)
         assert d.fmt == "ell"
         assert "near-uniform" in d.rationale["format"]
+
+    def test_compact_diagonal_pattern_selects_dia(self):
+        d = tune_batched_solver(
+            V100, 1000, 9, 9, num_diags=9, dia_padding_fraction=0.04
+        )
+        assert d.fmt == "dia"
+
+    def test_too_many_diagonals_fall_back_to_ell(self):
+        d = tune_batched_solver(
+            V100, 1000, 9, 9, num_diags=200, dia_padding_fraction=0.04
+        )
+        assert d.fmt == "ell"
+
+    def test_excessive_fringe_padding_rejects_dia(self):
+        d = tune_batched_solver(
+            V100, 1000, 9, 9, num_diags=9, dia_padding_fraction=0.8
+        )
+        assert d.fmt == "ell"
+
+    def test_invalid_dia_padding(self):
+        with pytest.raises(ValueError):
+            tune_batched_solver(
+                V100, 10, 1, 2, num_diags=3, dia_padding_fraction=1.5
+            )
 
     def test_wildly_irregular_rows_select_csr(self):
         d = tune_batched_solver(V100, 1000, 1, 200)
@@ -101,7 +131,7 @@ class TestTuneForMatrix:
         dense += np.eye(n) * (np.abs(dense).sum(axis=2, keepdims=True) + 1)
         m = BatchCsr.from_dense(dense)
         d = tune_for_matrix(A100, m)
-        assert d.fmt in ("csr", "ell")
+        assert d.fmt in ("csr", "ell", "dia")
         assert d.threads_per_block >= 64
 
     def test_rejects_invalid(self):

@@ -25,10 +25,23 @@ class TestCli:
         assert "electron" in out
         assert "conservation drifts" in out
 
+    def test_demo_dia_format(self, capsys):
+        assert main(["demo", "--nodes", "1", "--batch", "240",
+                     "--format", "dia"]) == 0
+        out = capsys.readouterr().out
+        assert "converged=True" in out
+
+    def test_picard_dia_format(self, capsys):
+        assert main(["picard", "--nodes", "1", "--steps", "1",
+                     "--format", "dia"]) == 0
+        out = capsys.readouterr().out
+        assert "conservation drifts" in out
+
     def test_tune(self, capsys):
+        """The pattern-aware tuner upgrades the stencil to gather-free DIA."""
         assert main(["tune"]) == 0
         out = capsys.readouterr().out
-        assert "format=ell" in out
+        assert "format=dia" in out
         assert "fused" in out
 
     def test_unknown_command_rejected(self):

@@ -114,21 +114,25 @@ class TestPicardStep:
         res = stepper.step(f0, dt=0.05)
         assert res.linear_iterations.shape[0] < 10
 
-    def test_csr_and_ell_formats_agree(self, small_grid, small_stencil):
+    def test_all_matrix_formats_agree(self, small_grid, small_stencil):
+        """CSR, ELL and gather-free DIA run the same Picard step: same
+        physics and, system by system, the same linear iteration counts."""
         f0 = np.tile(off_equilibrium(small_grid), (2, 1))
-        res_ell = PicardStepper(
-            small_grid, mixed_masses(), stencil=small_stencil,
-            options=PicardOptions(matrix_format="ell"),
-        ).step(f0, dt=0.05)
-        res_csr = PicardStepper(
-            small_grid, mixed_masses(), stencil=small_stencil,
-            options=PicardOptions(matrix_format="csr"),
-        ).step(f0, dt=0.05)
-        np.testing.assert_allclose(res_ell.f_new, res_csr.f_new, rtol=1e-8,
-                                   atol=1e-12)
-        np.testing.assert_array_equal(
-            res_ell.linear_iterations, res_csr.linear_iterations
-        )
+        results = {
+            fmt: PicardStepper(
+                small_grid, mixed_masses(), stencil=small_stencil,
+                options=PicardOptions(matrix_format=fmt),
+            ).step(f0, dt=0.05)
+            for fmt in ("csr", "ell", "dia")
+        }
+        ref = results["csr"]
+        for fmt in ("ell", "dia"):
+            res = results[fmt]
+            np.testing.assert_allclose(res.f_new, ref.f_new, rtol=1e-8,
+                                       atol=1e-12)
+            np.testing.assert_array_equal(
+                res.linear_iterations, ref.linear_iterations
+            )
 
     def test_shape_validation(self, small_grid, small_stencil):
         stepper = PicardStepper(small_grid, mixed_masses(), stencil=small_stencil)

@@ -41,15 +41,17 @@ def _sweep(iterations, nnz):
             )
             # Apply this budget through the traffic model directly
             # (estimate_iterative_solve always uses the policy budget):
+            from repro.core.solvers.schedule import solver_schedule
             from repro.gpu import (
-                bicgstab_iteration_work,
                 compute_occupancy,
                 estimate_memory,
+                iteration_work,
                 schedule_blocks,
             )
             occ = compute_occupancy(hw, max(cfg.shared_bytes_used, 1), N_ROWS)
-            work = bicgstab_iteration_work(
-                N_ROWS, nnz, "ell", cfg, stored_nnz=STORED_ELL
+            work = iteration_work(
+                solver_schedule("bicgstab"), N_ROWS, nnz, "ell", cfg,
+                stored_nnz=STORED_ELL,
             )
             mem = estimate_memory(
                 hw, work,

@@ -32,8 +32,19 @@ from ..spmv import residual
 from ..stop import AbsoluteResidual, StoppingCriterion
 from ..types import BatchShape, DimensionMismatch, SolveResult
 from ..workspace import SolverWorkspace
+from .schedule import OpSchedule, OpStats, solver_schedule
 
-__all__ = ["BatchedIterativeSolver", "safe_divide"]
+__all__ = [
+    "BatchedIterativeSolver",
+    "IterationDriver",
+    "SolveState",
+    "STOP",
+    "safe_divide",
+]
+
+#: Sentinel a loop body returns to stop iterating mid-trip (every system
+#: froze before the iteration tail — the driver records the skipped tail).
+STOP = object()
 
 
 def safe_divide(
@@ -107,8 +118,19 @@ class BatchedIterativeSolver:
         self.compact_min_batch = int(check_positive(compact_min_batch, "compact_min_batch"))
         self._workspace: SolverWorkspace | None = None
         self._last_compactor: BatchCompactor | None = None
+        self.last_op_stats: OpStats | None = None
 
-    # -- subclass hook -------------------------------------------------------
+    # -- subclass hooks ------------------------------------------------------
+
+    def op_schedule(self) -> OpSchedule:
+        """The declared operation schedule of this solver.
+
+        One source of truth shared by the host iteration driver (vector
+        allocation), the GPU performance model, and the shared-memory
+        configurator.  Parameterised solvers (GMRES) override this to
+        thread their configuration into the registry lookup.
+        """
+        return solver_schedule(self.name)
 
     def _iterate(
         self,
@@ -246,3 +268,201 @@ class BatchedIterativeSolver:
         if np.any(converged):
             self.logger.log_iteration(-1, res_norms, converged)
         return res_norms, converged
+
+
+class SolveState:
+    """Named arrays of one batched solve, rebound wholesale on compaction.
+
+    Attributes are the solver's registered vectors and per-system scalars
+    plus ``matrix``, ``b``, ``x``, ``precond``, and the ``active`` mask.
+    Keeping them on one object lets the iteration driver's compaction step
+    gather *every* registered array and rebind the attributes in place, so
+    solver recurrences written against ``st.<name>`` never hold a stale
+    full-size reference.
+    """
+
+    def __init__(self, matrix, b, x, precond) -> None:
+        self.matrix = matrix
+        self.b = b
+        self.x = x
+        self.precond = precond
+        self.active: np.ndarray | None = None
+        self._vector_names: list[str] = []
+        self._scalar_names: list[str] = []
+
+    def register_vector(self, name: str, arr: np.ndarray) -> np.ndarray:
+        """Expose ``arr`` as ``self.<name>`` and include it in compaction."""
+        self._vector_names.append(name)
+        setattr(self, name, arr)
+        return arr
+
+    def register_scalar(self, name: str, arr: np.ndarray) -> np.ndarray:
+        """Expose a per-system scalar array and include it in compaction."""
+        self._scalar_names.append(name)
+        setattr(self, name, arr)
+        return arr
+
+    def vectors(self) -> tuple[np.ndarray, ...]:
+        return tuple(getattr(self, n) for n in self._vector_names)
+
+    def scalars(self) -> tuple[np.ndarray, ...]:
+        return tuple(getattr(self, n) for n in self._scalar_names)
+
+    def rebind(self, vectors, scalars) -> None:
+        for name, arr in zip(self._vector_names, vectors):
+            setattr(self, name, arr)
+        for name, arr in zip(self._scalar_names, scalars):
+            setattr(self, name, arr)
+
+
+class IterationDriver:
+    """The shared monitoring loop of the batched iterative solvers.
+
+    Owns everything the five ``_iterate`` bodies used to duplicate:
+    workspace allocation from the solver's declared
+    :class:`~repro.core.solvers.schedule.OpSchedule`, initial-residual
+    priming, the per-system ``active`` mask, full-size ``converged`` /
+    ``final_norms`` bookkeeping, active-batch compaction (gather + state
+    rebinding), convergence logging, true-residual verify-and-freeze with
+    restart, finalisation, and the :class:`~repro.core.solvers.schedule.
+    OpStats` control-flow record the conformance suite checks against the
+    schedule.  A solver's ``_iterate`` builds a driver, registers any
+    extra per-system scalars, and supplies only its recurrence as the
+    loop body.
+    """
+
+    def __init__(
+        self,
+        solver: BatchedIterativeSolver,
+        matrix,
+        b: np.ndarray,
+        x: np.ndarray,
+        precond: BatchPreconditioner,
+        ws: SolverWorkspace,
+        *,
+        vector_names: tuple[str, ...] | None = None,
+        zero: tuple[str, ...] = (),
+    ) -> None:
+        self.solver = solver
+        st = SolveState(matrix, b, x, precond)
+        if vector_names is None:
+            schedule = solver.op_schedule()
+            vector_names = tuple(
+                n for n in schedule.workspace_names() if n != "x"
+            )
+        for name in vector_names:
+            st.register_vector(name, ws.vector(name, zero=name in zero))
+        st.register_vector("x", x)
+        self.state = st
+
+        # Every iterative solver names its residual vector "r".
+        res_norms, converged = solver._init_monitor(matrix, b, x, st.r)
+        st.active = ~converged
+        self.initial_norms = res_norms
+        #: Full-size converged flags and final norms; under compaction the
+        #: compactor scatters local results into them by global index.
+        self.converged = converged
+        self.final_norms = res_norms.copy()
+        self.comp = solver._compactor(matrix, precond)
+        self.logger = solver.logger
+        self.stats = OpStats()
+        solver.last_op_stats = self.stats
+        self._x_full = x
+
+    @property
+    def criterion(self):
+        """The (possibly restricted) stopping criterion to check against."""
+        return self.comp.criterion
+
+    # -- the loop ------------------------------------------------------------
+
+    def run(self, body) -> tuple[np.ndarray, np.ndarray]:
+        """Drive ``body(state, it)`` for up to ``max_iter`` trips.
+
+        The body returns :data:`STOP` to end the solve mid-trip (all
+        systems froze before the iteration tail).  Compaction is attempted
+        at the top of every trip; the returned arrays are the full-size
+        ``(final_norms, converged)`` pair ``_iterate`` must produce.
+        """
+        st = self.state
+        for it in range(self.solver.max_iter):
+            if not np.any(st.active):
+                break
+            self.maybe_compact()
+            self.stats.trips += 1
+            if body(st, it) is STOP:
+                self.stats.tail_skipped = True
+                break
+        return self.finish()
+
+    def maybe_compact(self) -> bool:
+        """Gather the active sub-batch when worthwhile; rebind all state."""
+        st = self.state
+        if not self.comp.should_compact(st.active):
+            return False
+        vectors = st.vectors()
+        scalars = st.scalars()
+        # x travels through the compactor's dedicated slot, not the
+        # generic vector tuple (it must scatter into x_full on exit).
+        packed = self.comp.compact(
+            st.active, st.matrix, st.b, self._x_full, st.x, st.precond,
+            vectors=vectors[:-1], scalars=scalars,
+        )
+        if packed is None:
+            return False
+        (st.matrix, st.b, x, st.precond, st.active,
+         new_vectors, new_scalars) = packed
+        st.rebind(new_vectors + (x,), new_scalars)
+        return True
+
+    def finish(self) -> tuple[np.ndarray, np.ndarray]:
+        """Scatter back the compact iterate and close out the logger."""
+        self.comp.finalize(self._x_full, self.state.x)
+        self.logger.finalize(self.final_norms, ~self.converged, self.solver.max_iter)
+        return self.final_norms, self.converged
+
+    # -- per-trip helpers -----------------------------------------------------
+
+    def update_norms(self, norms: np.ndarray, mask: np.ndarray) -> None:
+        """Record current residual norms into the full-size bookkeeping."""
+        self.comp.update_norms(self.final_norms, norms, mask)
+
+    def log_history(self) -> None:
+        self.logger.log_history(self.final_norms)
+
+    def freeze(self, it: int, norms: np.ndarray, newly: np.ndarray) -> None:
+        """Log, mark, and deactivate systems whose criterion fired.
+
+        The unverified path (CG, Richardson): the recursive residual is
+        trusted as-is.
+        """
+        self.comp.log_converged(self.logger, it, norms, newly)
+        self.comp.mark_converged(self.converged, newly)
+        self.state.active &= ~newly
+
+    def verify_and_freeze(self, it: int, candidates: np.ndarray, restart=None):
+        """Confirm candidate convergences against the true residual.
+
+        Confirmed systems are logged and frozen.  Systems whose recursive
+        residual drifted are *restarted* through the solver-supplied
+        ``restart(state, true_r, restarted)`` callback (rebuilding their
+        Krylov state from the true residual) and keep iterating.  Returns
+        the ``(confirmed, restarted)`` masks.
+        """
+        st = self.state
+        self.stats.verify_events += 1
+        true_r = st.true_r
+        residual(st.matrix, st.x, st.b, out=true_r)
+        true_norms = batch_norm2(true_r)
+        confirmed = candidates & self.comp.criterion.check(true_norms)
+        if np.any(confirmed):
+            self.comp.update_norms(self.final_norms, true_norms, confirmed)
+            self.comp.log_converged(self.logger, it, true_norms, confirmed)
+            self.comp.mark_converged(self.converged, confirmed)
+            st.active &= ~confirmed
+        restarted = candidates & ~confirmed
+        if np.any(restarted):
+            self.stats.restart_events += 1
+            restart(st, true_r, restarted)
+            self.comp.update_norms(self.final_norms, true_norms, restarted)
+        return confirmed, restarted

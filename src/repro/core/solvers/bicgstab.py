@@ -40,8 +40,7 @@ import numpy as np
 
 from ..batch_dense import batch_dot, batch_norm2
 from ..blas import fused_update, masked_assign, masked_axpy, masked_fill
-from ..spmv import residual
-from .base import BatchedIterativeSolver, safe_divide
+from .base import STOP, BatchedIterativeSolver, IterationDriver, safe_divide
 
 __all__ = ["BatchBicgstab"]
 
@@ -51,132 +50,83 @@ class BatchBicgstab(BatchedIterativeSolver):
 
     name = "bicgstab"
 
+    @staticmethod
+    def _restart(st, true_r, restarted):
+        """Rebuild the Krylov state of drifted systems from the true residual."""
+        masked_assign(st.r, true_r, restarted)
+        masked_assign(st.r_hat, true_r, restarted)
+        masked_fill(st.p, 0.0, restarted)
+        masked_fill(st.v, 0.0, restarted)
+        masked_fill(st.rho_old, 1.0, restarted)
+
     def _iterate(self, matrix, b, x, precond, ws):
-        r = ws.vector("r")
-        r_hat = ws.vector("r_hat")
-        p = ws.vector("p", zero=True)
-        p_hat = ws.vector("p_hat")
-        v = ws.vector("v", zero=True)
-        s = ws.vector("s")
-        s_hat = ws.vector("s_hat")
-        t = ws.vector("t")
-        true_r = ws.vector("true_r")
-        work = ws.vector("work")
+        drv = IterationDriver(self, matrix, b, x, precond, ws, zero=("p", "v"))
+        st = drv.state
+        st.r_hat[...] = st.r
 
-        res_norms, converged = self._init_monitor(matrix, b, x, r)
-        r_hat[...] = r
+        st.register_scalar("rho_old", ws.scalar("rho_old", fill=1.0))
+        st.register_scalar("alpha", ws.scalar("alpha", fill=1.0))
+        st.register_scalar("omega", ws.scalar("omega", fill=1.0))
 
-        rho_old = ws.scalar("rho_old", fill=1.0)
-        alpha = ws.scalar("alpha", fill=1.0)
-        omega = ws.scalar("omega", fill=1.0)
-
-        active = ~converged
-        # `converged` and `final_norms` stay full-size; under compaction the
-        # compactor scatters local results into them by global index.
-        final_norms = res_norms.copy()
-        comp = self._compactor(matrix, precond)
-        x_full = x
-
-        def verify_and_freeze(candidates, it):
-            """Confirm candidate convergences against the true residual.
-
-            Confirmed systems are logged and frozen.  Systems whose
-            recursive residual drifted are *restarted*: their Krylov state
-            is rebuilt from the true residual and they keep iterating.
-            Returns ``(confirmed, restarted)`` masks.
-            """
-            residual(matrix, x, b, out=true_r)
-            true_norms = batch_norm2(true_r)
-            confirmed = candidates & comp.criterion.check(true_norms)
-            if np.any(confirmed):
-                comp.update_norms(final_norms, true_norms, confirmed)
-                comp.log_converged(self.logger, it, true_norms, confirmed)
-            restarted = candidates & ~confirmed
-            if np.any(restarted):
-                masked_assign(r, true_r, restarted)
-                masked_assign(r_hat, true_r, restarted)
-                masked_fill(p, 0.0, restarted)
-                masked_fill(v, 0.0, restarted)
-                masked_fill(rho_old, 1.0, restarted)
-                comp.update_norms(final_norms, true_norms, restarted)
-            return confirmed, restarted
-
-        for it in range(self.max_iter):
-            if not np.any(active):
-                break
-
-            if comp.should_compact(active):
-                packed = comp.compact(
-                    active, matrix, b, x_full, x, precond,
-                    vectors=(r, r_hat, p, p_hat, v, s, s_hat, t, true_r, work),
-                    scalars=(rho_old, alpha, omega),
-                )
-                if packed is not None:
-                    (matrix, b, x, precond, active,
-                     (r, r_hat, p, p_hat, v, s, s_hat, t, true_r, work),
-                     (rho_old, alpha, omega)) = packed
-
+        def body(st, it):
             # `cont` marks systems executing the rest of THIS iteration;
             # systems restarted mid-iteration sit the remainder out.
-            cont = active.copy()
+            cont = st.active.copy()
 
             # rho = r_hat . r ; beta = (rho / rho_old) * (alpha / omega)
-            rho = batch_dot(r_hat, r)
-            beta = safe_divide(rho, rho_old, cont) * safe_divide(alpha, omega, cont)
+            rho = batch_dot(st.r_hat, st.r)
+            beta = safe_divide(rho, st.rho_old, cont) * safe_divide(
+                st.alpha, st.omega, cont
+            )
 
             # p = r + beta * (p - omega * v)   (restart-safe: beta = 0
             # reduces this to the steepest-descent direction p = r)
-            fused_update(p, r, beta, omega, v, work=work)
+            fused_update(st.p, st.r, beta, st.omega, st.v, work=st.work)
 
-            precond.apply(p, out=p_hat)
-            matrix.apply(p_hat, out=v)
+            st.precond.apply(st.p, out=st.p_hat)
+            st.matrix.apply(st.p_hat, out=st.v)
 
             # alpha = rho / (r_hat . v)
-            safe_divide(rho, batch_dot(r_hat, v), cont, out=alpha)
+            safe_divide(rho, batch_dot(st.r_hat, st.v), cont, out=st.alpha)
 
             # s = r - alpha * v
-            np.multiply(v, alpha[:, None], out=s)
-            np.subtract(r, s, out=s)
+            np.multiply(st.v, st.alpha[:, None], out=st.s)
+            np.subtract(st.r, st.s, out=st.s)
 
-            s_norms = batch_norm2(s)
+            s_norms = batch_norm2(st.s)
             # Early exit per system: x += alpha * p_hat, then freeze.
-            s_conv = cont & comp.criterion.check(s_norms)
+            s_conv = cont & drv.criterion.check(s_norms)
             if np.any(s_conv):
-                masked_axpy(x, alpha, p_hat, mask=s_conv, work=work)
-                confirmed, restarted = verify_and_freeze(s_conv, it)
-                comp.mark_converged(converged, confirmed)
-                active &= ~confirmed
+                masked_axpy(st.x, st.alpha, st.p_hat, mask=s_conv, work=st.work)
+                drv.verify_and_freeze(it, s_conv, self._restart)
                 cont &= ~s_conv  # both confirmed and restarted sit out
-                if not np.any(active):
-                    break
+                if not np.any(st.active):
+                    return STOP
 
-            precond.apply(s, out=s_hat)
-            matrix.apply(s_hat, out=t)
+            st.precond.apply(st.s, out=st.s_hat)
+            st.matrix.apply(st.s_hat, out=st.t)
 
             # omega = (t . s) / (t . t)
-            safe_divide(batch_dot(t, s), batch_dot(t, t), cont, out=omega)
+            safe_divide(batch_dot(st.t, st.s), batch_dot(st.t, st.t), cont,
+                        out=st.omega)
 
             # x += alpha * p_hat + omega * s_hat   (zero steps when frozen
             # or restarted)
-            masked_axpy(x, alpha, p_hat, mask=cont, work=work)
-            masked_axpy(x, omega, s_hat, mask=cont, work=work)
+            masked_axpy(st.x, st.alpha, st.p_hat, mask=cont, work=st.work)
+            masked_axpy(st.x, st.omega, st.s_hat, mask=cont, work=st.work)
 
             # r = s - omega * t   (only for continuing systems)
-            np.multiply(t, omega[:, None], out=t)
-            np.subtract(s, t, out=t)
-            masked_assign(r, t, cont)
+            np.multiply(st.t, st.omega[:, None], out=st.t)
+            np.subtract(st.s, st.t, out=st.t)
+            masked_assign(st.r, st.t, cont)
 
-            masked_assign(rho_old, rho, cont)
+            masked_assign(st.rho_old, rho, cont)
 
-            res_norms = batch_norm2(r)
-            comp.update_norms(final_norms, res_norms, active)
-            newly = cont & comp.criterion.check(res_norms)
+            res_norms = batch_norm2(st.r)
+            drv.update_norms(res_norms, st.active)
+            newly = cont & drv.criterion.check(res_norms)
             if np.any(newly):
-                confirmed, _ = verify_and_freeze(newly, it)
-                comp.mark_converged(converged, confirmed)
-                active &= ~confirmed
-            self.logger.log_history(final_norms)
+                drv.verify_and_freeze(it, newly, self._restart)
+            drv.log_history()
 
-        comp.finalize(x_full, x)
-        self.logger.finalize(final_norms, ~converged, self.max_iter)
-        return final_norms, converged
+        return drv.run(body)

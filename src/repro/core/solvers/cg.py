@@ -15,7 +15,7 @@ import numpy as np
 
 from ..batch_dense import batch_dot, batch_norm2
 from ..blas import masked_assign, masked_axpy
-from .base import BatchedIterativeSolver, safe_divide
+from .base import STOP, BatchedIterativeSolver, IterationDriver, safe_divide
 
 __all__ = ["BatchCg"]
 
@@ -26,62 +26,36 @@ class BatchCg(BatchedIterativeSolver):
     name = "cg"
 
     def _iterate(self, matrix, b, x, precond, ws):
-        r = ws.vector("r")
-        z = ws.vector("z")
-        p = ws.vector("p")
-        w = ws.vector("w")
-        work = ws.vector("work")
+        drv = IterationDriver(self, matrix, b, x, precond, ws)
+        st = drv.state
 
-        res_norms, converged = self._init_monitor(matrix, b, x, r)
-        active = ~converged
-        final_norms = res_norms.copy()
-        comp = self._compactor(matrix, precond)
-        x_full = x
+        st.precond.apply(st.r, out=st.z)
+        st.p[...] = st.z
+        st.register_scalar("rz_old", batch_dot(st.r, st.z))
 
-        precond.apply(r, out=z)
-        p[...] = z
-        rz_old = batch_dot(r, z)
-
-        for it in range(self.max_iter):
-            if not np.any(active):
-                break
-
-            if comp.should_compact(active):
-                packed = comp.compact(
-                    active, matrix, b, x_full, x, precond,
-                    vectors=(r, z, p, w, work),
-                    scalars=(rz_old,),
-                )
-                if packed is not None:
-                    (matrix, b, x, precond, active,
-                     (r, z, p, w, work), (rz_old,)) = packed
-
-            matrix.apply(p, out=w)
-            alpha = safe_divide(rz_old, batch_dot(p, w), active)
+        def body(st, it):
+            st.matrix.apply(st.p, out=st.w)
+            alpha = safe_divide(st.rz_old, batch_dot(st.p, st.w), st.active)
 
             # Frozen systems take zero steps: their alpha is already 0.
-            masked_axpy(x, alpha, p, work=work)
-            np.multiply(w, alpha[:, None], out=work)
-            np.subtract(r, work, out=r)
+            masked_axpy(st.x, alpha, st.p, work=st.work)
+            np.multiply(st.w, alpha[:, None], out=st.work)
+            np.subtract(st.r, st.work, out=st.r)
 
-            res_norms = batch_norm2(r)
-            comp.update_norms(final_norms, res_norms, active)
-            newly = active & comp.criterion.check(res_norms)
+            res_norms = batch_norm2(st.r)
+            drv.update_norms(res_norms, st.active)
+            newly = st.active & drv.criterion.check(res_norms)
             if np.any(newly):
-                comp.log_converged(self.logger, it, res_norms, newly)
-                comp.mark_converged(converged, newly)
-                active &= ~newly
-            self.logger.log_history(final_norms)
-            if not np.any(active):
-                break
+                drv.freeze(it, res_norms, newly)
+            drv.log_history()
+            if not np.any(st.active):
+                return STOP
 
-            precond.apply(r, out=z)
-            rz_new = batch_dot(r, z)
-            beta = safe_divide(rz_new, rz_old, active)
-            p *= beta[:, None]
-            p += z
-            masked_assign(rz_old, rz_new, active)
+            st.precond.apply(st.r, out=st.z)
+            rz_new = batch_dot(st.r, st.z)
+            beta = safe_divide(rz_new, st.rz_old, st.active)
+            st.p *= beta[:, None]
+            st.p += st.z
+            masked_assign(st.rz_old, rz_new, st.active)
 
-        comp.finalize(x_full, x)
-        self.logger.finalize(final_norms, ~converged, self.max_iter)
-        return final_norms, converged
+        return drv.run(body)

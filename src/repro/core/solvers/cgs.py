@@ -19,8 +19,7 @@ import numpy as np
 
 from ..batch_dense import batch_dot, batch_norm2
 from ..blas import masked_assign, masked_axpy
-from ..spmv import residual
-from .base import BatchedIterativeSolver, safe_divide
+from .base import STOP, BatchedIterativeSolver, IterationDriver, safe_divide
 
 __all__ = ["BatchCgs"]
 
@@ -30,111 +29,72 @@ class BatchCgs(BatchedIterativeSolver):
 
     name = "cgs"
 
+    @staticmethod
+    def _restart(st, true_r, restarted):
+        """Reseed drifted systems from the true residual (rho included)."""
+        masked_assign(st.r, true_r, restarted)
+        masked_assign(st.r_hat, true_r, restarted)
+        masked_assign(st.u, true_r, restarted)
+        masked_assign(st.p, true_r, restarted)
+        st.rho_old[restarted] = batch_dot(st.r_hat, st.r)[restarted]
+
     def _iterate(self, matrix, b, x, precond, ws):
-        r = ws.vector("r")
-        r_hat = ws.vector("r_hat")
-        p = ws.vector("p")
-        u = ws.vector("u")
-        q = ws.vector("q")
-        v = ws.vector("v")
-        uq = ws.vector("uq")
-        uq_hat = ws.vector("uq_hat")
-        work = ws.vector("cgs_work")
-        scratch = ws.vector("scratch")
-        true_r = ws.vector("true_r")
+        drv = IterationDriver(self, matrix, b, x, precond, ws)
+        st = drv.state
+        st.r_hat[...] = st.r
+        st.u[...] = st.r
+        st.p[...] = st.r
 
-        res_norms, converged = self._init_monitor(matrix, b, x, r)
-        r_hat[...] = r
-        u[...] = r
-        p[...] = r
+        st.register_scalar("rho_old", batch_dot(st.r_hat, st.r))
 
-        rho_old = batch_dot(r_hat, r)
-        active = ~converged
-        final_norms = res_norms.copy()
-        comp = self._compactor(matrix, precond)
-        x_full = x
-
-        for it in range(self.max_iter):
-            if not np.any(active):
-                break
-
-            if comp.should_compact(active):
-                packed = comp.compact(
-                    active, matrix, b, x_full, x, precond,
-                    vectors=(r, r_hat, p, u, q, v, uq, uq_hat, work, scratch, true_r),
-                    scalars=(rho_old,),
-                )
-                if packed is not None:
-                    (matrix, b, x, precond, active,
-                     (r, r_hat, p, u, q, v, uq, uq_hat, work, scratch, true_r),
-                     (rho_old,)) = packed
-
+        def body(st, it):
             # v = A M^-1 p ; alpha = rho / (r_hat . v)
-            precond.apply(p, out=work)
-            matrix.apply(work, out=v)
-            alpha = safe_divide(rho_old, batch_dot(r_hat, v), active)
+            st.precond.apply(st.p, out=st.work)
+            st.matrix.apply(st.work, out=st.v)
+            alpha = safe_divide(st.rho_old, batch_dot(st.r_hat, st.v), st.active)
 
             # q = u - alpha v ; solution update direction u + q
-            np.multiply(v, alpha[:, None], out=q)
-            np.subtract(u, q, out=q)
-            np.add(u, q, out=uq)
+            np.multiply(st.v, alpha[:, None], out=st.q)
+            np.subtract(st.u, st.q, out=st.q)
+            np.add(st.u, st.q, out=st.uq)
 
-            precond.apply(uq, out=uq_hat)
+            st.precond.apply(st.uq, out=st.uq_hat)
             # alpha is already 0 for frozen systems (safe_divide).
-            masked_axpy(x, alpha, uq_hat, work=scratch)
+            masked_axpy(st.x, alpha, st.uq_hat, work=st.scratch)
 
             # r -= alpha A M^-1 (u + q)
-            matrix.apply(uq_hat, out=work)
-            np.multiply(work, alpha[:, None], out=scratch)
-            np.subtract(r, scratch, out=r)
+            st.matrix.apply(st.uq_hat, out=st.work)
+            np.multiply(st.work, alpha[:, None], out=st.scratch)
+            np.subtract(st.r, st.scratch, out=st.r)
 
-            res_norms = batch_norm2(r)
-            comp.update_norms(final_norms, res_norms, active)
-            newly = active & comp.criterion.check(res_norms)
+            res_norms = batch_norm2(st.r)
+            drv.update_norms(res_norms, st.active)
+            newly = st.active & drv.criterion.check(res_norms)
             if np.any(newly):
                 # Confirm against the true residual (CGS recursions drift
-                # even more readily than BiCGSTAB's).
-                residual(matrix, x, b, out=true_r)
-                true_norms = batch_norm2(true_r)
-                confirmed = newly & comp.criterion.check(true_norms)
-                if np.any(confirmed):
-                    comp.update_norms(final_norms, true_norms, confirmed)
-                    comp.log_converged(self.logger, it, true_norms, confirmed)
-                    comp.mark_converged(converged, confirmed)
-                    active &= ~confirmed
-                restarted = newly & ~confirmed
-                if np.any(restarted):
-                    masked_assign(r, true_r, restarted)
-                    masked_assign(r_hat, true_r, restarted)
-                    masked_assign(u, true_r, restarted)
-                    masked_assign(p, true_r, restarted)
-                    rho_old[restarted] = batch_dot(r_hat, r)[restarted]
-                    comp.update_norms(final_norms, true_norms, restarted)
-                    # Skip the direction update this iteration for them.
-                    active_now = active & ~restarted
-                else:
-                    active_now = active
+                # even more readily than BiCGSTAB's); restarted systems
+                # skip the direction update this iteration.
+                _, restarted = drv.verify_and_freeze(it, newly, self._restart)
+                active_now = st.active & ~restarted if np.any(restarted) else st.active
             else:
-                active_now = active
-            self.logger.log_history(final_norms)
-            if not np.any(active):
-                break
+                active_now = st.active
+            drv.log_history()
+            if not np.any(st.active):
+                return STOP
 
             # rho = r_hat . r ; beta = rho / rho_old
-            rho = batch_dot(r_hat, r)
-            beta = safe_divide(rho, rho_old, active_now)
+            rho = batch_dot(st.r_hat, st.r)
+            beta = safe_divide(rho, st.rho_old, active_now)
 
             # u = r + beta q ; p = u + beta (q + beta p)
-            np.multiply(q, beta[:, None], out=scratch)
-            scratch += r
-            masked_assign(u, scratch, active_now)
-            np.multiply(p, beta[:, None], out=scratch)
-            scratch += q
-            np.multiply(scratch, beta[:, None], out=scratch)
-            scratch += u
-            masked_assign(p, scratch, active_now)
-            masked_assign(rho_old, rho, active_now)
+            np.multiply(st.q, beta[:, None], out=st.scratch)
+            st.scratch += st.r
+            masked_assign(st.u, st.scratch, active_now)
+            np.multiply(st.p, beta[:, None], out=st.scratch)
+            st.scratch += st.q
+            np.multiply(st.scratch, beta[:, None], out=st.scratch)
+            st.scratch += st.u
+            masked_assign(st.p, st.scratch, active_now)
+            masked_assign(st.rho_old, rho, active_now)
 
-        comp.finalize(x_full, x)
-        self.logger.finalize(final_norms, ~converged, self.max_iter)
-        return final_norms, converged
+        return drv.run(body)

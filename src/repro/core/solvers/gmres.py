@@ -27,7 +27,8 @@ import numpy as np
 from ...utils.validation import check_positive
 from ..batch_dense import batch_dot, batch_norm2
 from ..spmv import residual
-from .base import BatchedIterativeSolver, safe_divide
+from .base import BatchedIterativeSolver, IterationDriver, safe_divide
+from .schedule import solver_schedule
 
 __all__ = ["BatchGmres"]
 
@@ -47,18 +48,22 @@ class BatchGmres(BatchedIterativeSolver):
         super().__init__(*args, **kwargs)
         self.restart = int(check_positive(restart, "restart"))
 
+    def op_schedule(self):
+        return solver_schedule("gmres", gmres_restart=self.restart)
+
     def _iterate(self, matrix, b, x, precond, ws):
         nb, n = x.shape
         m = min(self.restart, n)
 
-        r = ws.vector("r")
-        work = ws.vector("gmres_work")
-        upd = ws.vector("gmres_upd")
-        res_norms, converged = self._init_monitor(matrix, b, x, r)
-        active = ~converged
-        final_norms = res_norms.copy()
-        comp = self._compactor(matrix, precond)
-        x_full = x
+        # The m+1 modelled basis vectors live in one (m+1, nb, n) array, so
+        # the driver manages only the residual and the two scratch vectors.
+        drv = IterationDriver(
+            self, matrix, b, x, precond, ws,
+            vector_names=("r", "gmres_work", "gmres_upd"),
+        )
+        st = drv.state
+        comp = drv.comp
+        st.register_scalar("logged", drv.converged.copy())
 
         # Krylov basis and Hessenberg storage (reused across cycles,
         # reallocated at the compact size after a compaction event).
@@ -70,43 +75,35 @@ class BatchGmres(BatchedIterativeSolver):
         y = np.zeros((nb, m))
 
         total_it = 0
-        logged = converged.copy()
-        while total_it < self.max_iter and np.any(active):
+        while total_it < self.max_iter and np.any(st.active):
             # -- compact at the cycle boundary (no Krylov state carries over)
-            if comp.should_compact(active):
-                packed = comp.compact(
-                    active, matrix, b, x_full, x, precond,
-                    vectors=(r, work, upd),
-                    scalars=(logged,),
-                )
-                if packed is not None:
-                    (matrix, b, x, precond, active, (r, work, upd), (logged,)) = packed
-                    nb = x.shape[0]
-                    basis = np.zeros((m + 1, nb, n))
-                    hess = np.zeros((nb, m + 1, m))
-                    givens_c = np.zeros((nb, m))
-                    givens_s = np.zeros((nb, m))
-                    g = np.zeros((nb, m + 1))
-                    y = np.zeros((nb, m))
+            if drv.maybe_compact():
+                nb = st.x.shape[0]
+                basis = np.zeros((m + 1, nb, n))
+                hess = np.zeros((nb, m + 1, m))
+                givens_c = np.zeros((nb, m))
+                givens_s = np.zeros((nb, m))
+                g = np.zeros((nb, m + 1))
+                y = np.zeros((nb, m))
 
             # -- start a cycle from the true residual ------------------------
-            residual(matrix, x, b, out=r)
-            beta = batch_norm2(r)
-            inv_beta = safe_divide(np.ones(nb), beta, active)
-            basis[0] = r * inv_beta[:, None]
+            residual(st.matrix, st.x, st.b, out=st.r)
+            beta = batch_norm2(st.r)
+            inv_beta = safe_divide(np.ones(nb), beta, st.active)
+            basis[0] = st.r * inv_beta[:, None]
             hess[...] = 0.0
             g[...] = 0.0
             g[:, 0] = beta
             y[...] = 0.0
             used = np.zeros(nb, dtype=np.int64)  # subspace size per system
-            cycle_active = active.copy()
+            cycle_active = st.active.copy()
 
             steps = min(m, self.max_iter - total_it)
             j_done = 0
             for j in range(steps):
                 # w = A M^-1 v_j
-                precond.apply(basis[j], out=work)
-                matrix.apply(work, out=basis[j + 1])
+                st.precond.apply(basis[j], out=st.gmres_work)
+                st.matrix.apply(st.gmres_work, out=basis[j + 1])
                 w = basis[j + 1]
 
                 # Modified Gram-Schmidt against v_0..v_j.
@@ -142,20 +139,22 @@ class BatchGmres(BatchedIterativeSolver):
                 used = np.where(cycle_active, j + 1, used)
 
                 est = np.abs(g[:, j + 1])
-                newly = cycle_active & comp.criterion.check(est)
+                newly = cycle_active & drv.criterion.check(est)
                 if np.any(newly):
                     comp.log_converged(self.logger, total_it + j, est, newly)
-                    logged |= newly
+                    st.logged |= newly
                     cycle_active &= ~newly
                 if self.logger.record_history:
-                    snap = final_norms.copy()
-                    comp.update_norms(snap, est, active)
+                    snap = drv.final_norms.copy()
+                    comp.update_norms(snap, est, st.active)
                     self.logger.log_history(snap)
                 j_done = j + 1
                 if not np.any(cycle_active):
                     break
 
             total_it += j_done
+            drv.stats.trips += j_done
+            drv.stats.cycle_steps.append(j_done)
 
             # -- per-system triangular solve and solution update -------------
             # used[k] holds the subspace size system k actually needs.
@@ -163,39 +162,37 @@ class BatchGmres(BatchedIterativeSolver):
                 acc = g[:, i].copy()
                 for jj in range(i + 1, j_done):
                     acc -= hess[:, i, jj] * y[:, jj]
-                in_range = (i < used) & active
+                in_range = (i < used) & st.active
                 y[:, i] = np.where(
                     in_range,
                     safe_divide(acc, hess[:, i, i], in_range),
                     0.0,
                 )
 
-            work[...] = 0.0
+            st.gmres_work[...] = 0.0
             for jj in range(j_done):
-                work += y[:, jj][:, None] * basis[jj]
-            precond.apply(work, out=upd)
-            np.add(x, upd, out=x, where=active[:, None])
+                st.gmres_work += y[:, jj][:, None] * basis[jj]
+            st.precond.apply(st.gmres_work, out=st.gmres_upd)
+            np.add(st.x, st.gmres_upd, out=st.x, where=st.active[:, None])
 
             # -- recompute true residuals at the restart boundary ------------
-            residual(matrix, x, b, out=r)
-            res_norms = batch_norm2(r)
-            comp.update_norms(final_norms, res_norms, active)
-            true_conv = active & comp.criterion.check(res_norms)
+            residual(st.matrix, st.x, st.b, out=st.r)
+            res_norms = batch_norm2(st.r)
+            drv.update_norms(res_norms, st.active)
+            true_conv = st.active & drv.criterion.check(res_norms)
             if np.any(true_conv):
                 # Systems the estimate already caught keep their mid-cycle
                 # iteration count; systems it lagged on are logged now.
-                est_missed = true_conv & ~logged
+                est_missed = true_conv & ~st.logged
                 if np.any(est_missed):
                     comp.log_converged(
                         self.logger, total_it - 1, res_norms, est_missed
                     )
-                    logged |= est_missed
-                comp.mark_converged(converged, true_conv)
-                active &= ~true_conv
+                    st.logged |= est_missed
+                comp.mark_converged(drv.converged, true_conv)
+                st.active &= ~true_conv
             # Systems whose estimate was optimistic stay active; their
             # (premature) logged count will be overwritten next cycle.
-            logged &= ~active
+            st.logged &= ~st.active
 
-        comp.finalize(x_full, x)
-        self.logger.finalize(final_norms, ~converged, self.max_iter)
-        return final_norms, converged
+        return drv.finish()

@@ -16,7 +16,7 @@ from ...utils.validation import check_positive
 from ..batch_dense import batch_norm2
 from ..blas import masked_axpy
 from ..spmv import residual
-from .base import BatchedIterativeSolver
+from .base import BatchedIterativeSolver, IterationDriver
 
 __all__ = ["BatchRichardson"]
 
@@ -37,43 +37,20 @@ class BatchRichardson(BatchedIterativeSolver):
         self.relaxation = float(check_positive(relaxation, "relaxation"))
 
     def _iterate(self, matrix, b, x, precond, ws):
-        r = ws.vector("r")
-        z = ws.vector("z")
-        work = ws.vector("work")
+        drv = IterationDriver(self, matrix, b, x, precond, ws)
 
-        res_norms, converged = self._init_monitor(matrix, b, x, r)
-        active = ~converged
-        final_norms = res_norms.copy()
-        comp = self._compactor(matrix, precond)
-        x_full = x
-
-        for it in range(self.max_iter):
-            if not np.any(active):
-                break
-
-            if comp.should_compact(active):
-                packed = comp.compact(
-                    active, matrix, b, x_full, x, precond,
-                    vectors=(r, z, work),
-                )
-                if packed is not None:
-                    (matrix, b, x, precond, active, (r, z, work), _) = packed
-
-            precond.apply(r, out=z)
+        def body(st, it):
+            st.precond.apply(st.r, out=st.z)
             # Frozen systems take a zero step.
-            masked_axpy(x, self.relaxation, z, mask=active, work=work)
+            masked_axpy(st.x, self.relaxation, st.z, mask=st.active, work=st.work)
 
-            residual(matrix, x, b, out=r)
+            residual(st.matrix, st.x, st.b, out=st.r)
 
-            res_norms = batch_norm2(r)
-            comp.update_norms(final_norms, res_norms, active)
-            newly = active & comp.criterion.check(res_norms)
+            res_norms = batch_norm2(st.r)
+            drv.update_norms(res_norms, st.active)
+            newly = st.active & drv.criterion.check(res_norms)
             if np.any(newly):
-                comp.log_converged(self.logger, it, res_norms, newly)
-                comp.mark_converged(converged, newly)
-                active &= ~newly
-            self.logger.log_history(final_norms)
+                drv.freeze(it, res_norms, newly)
+            drv.log_history()
 
-        comp.finalize(x_full, x)
-        self.logger.finalize(final_norms, ~converged, self.max_iter)
-        return final_norms, converged
+        return drv.run(body)

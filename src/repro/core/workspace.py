@@ -51,74 +51,35 @@ class VectorSpec:
         ``"spmv"`` for vectors read/written by the SpMV kernel (highest
         placement priority — red in Algorithm 1), ``"aux"`` for the other
         intermediates (blue).
+    touches:
+        Average read/write passes over the vector per solver iteration;
+        spilled vectors pay this many global-memory passes in the traffic
+        model (:func:`repro.gpu.kernel.iteration_work`).
     """
 
     name: str
     role: str
+    touches: float = 2.0
 
     def __post_init__(self) -> None:
         if self.role not in ("spmv", "aux"):
             raise ValueError(f"role must be 'spmv' or 'aux', got {self.role!r}")
-
-
-#: Auxiliary vectors required by each solver (single-kernel fused design).
-_SOLVER_VECTORS: dict[str, tuple[VectorSpec, ...]] = {
-    # Algorithm 1: 9 vectors, 4 of them SpMV operands.
-    "bicgstab": (
-        VectorSpec("p_hat", "spmv"),
-        VectorSpec("v", "spmv"),
-        VectorSpec("s_hat", "spmv"),
-        VectorSpec("t", "spmv"),
-        VectorSpec("r", "aux"),
-        VectorSpec("r_hat", "aux"),
-        VectorSpec("p", "aux"),
-        VectorSpec("s", "aux"),
-        VectorSpec("x", "aux"),
-    ),
-    "cg": (
-        VectorSpec("p", "spmv"),
-        VectorSpec("w", "spmv"),
-        VectorSpec("r", "aux"),
-        VectorSpec("z", "aux"),
-        VectorSpec("x", "aux"),
-    ),
-    "richardson": (
-        VectorSpec("z", "spmv"),
-        VectorSpec("r", "aux"),
-        VectorSpec("x", "aux"),
-    ),
-    # CGS: 2 SpMV operands (work, v) + u, q, u+q, r, r_hat, p, x.
-    "cgs": (
-        VectorSpec("work", "spmv"),
-        VectorSpec("v", "spmv"),
-        VectorSpec("uq_hat", "spmv"),
-        VectorSpec("r", "aux"),
-        VectorSpec("r_hat", "aux"),
-        VectorSpec("p", "aux"),
-        VectorSpec("u", "aux"),
-        VectorSpec("q", "aux"),
-        VectorSpec("uq", "aux"),
-        VectorSpec("x", "aux"),
-    ),
-}
+        if self.touches <= 0.0:
+            raise ValueError(f"touches must be positive, got {self.touches}")
 
 
 def solver_vector_specs(solver: str, *, gmres_restart: int = 30) -> tuple[VectorSpec, ...]:
-    """Vector specs for a named solver.
+    """Vector specs for a named solver, from its declared operation schedule.
 
     GMRES is parameterised by its restart length: it keeps the ``m + 1``
     Krylov basis vectors (all SpMV operands) plus residual and solution.
+    The specs come from the same :class:`~repro.core.solvers.schedule.
+    OpSchedule` registry the host solvers and the GPU model read, so the
+    placement planner can never drift from what the solvers allocate.
     """
-    if solver == "gmres":
-        basis = tuple(VectorSpec(f"v{j}", "spmv") for j in range(gmres_restart + 1))
-        return basis + (VectorSpec("r", "aux"), VectorSpec("x", "aux"))
-    try:
-        return _SOLVER_VECTORS[solver]
-    except KeyError:
-        raise ValueError(
-            f"unknown solver {solver!r}; choices: "
-            f"{sorted(_SOLVER_VECTORS) + ['gmres']}"
-        ) from None
+    from .solvers.schedule import solver_schedule
+
+    return solver_schedule(solver, gmres_restart=gmres_restart).vectors
 
 
 @dataclass

@@ -15,8 +15,8 @@ from .kernel import (
     banded_lu_work,
     banded_qr_work,
     dense_lu_work,
-    bicgstab_iteration_work,
-    bicgstab_setup_work,
+    iteration_work,
+    setup_work,
     spmv_work,
     storage_for_solver,
 )
@@ -56,8 +56,8 @@ __all__ = [
     "GPUS",
     "KernelWork",
     "spmv_work",
-    "bicgstab_iteration_work",
-    "bicgstab_setup_work",
+    "iteration_work",
+    "setup_work",
     "banded_lu_work",
     "banded_qr_work",
     "dense_lu_work",

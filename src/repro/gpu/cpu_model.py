@@ -19,8 +19,9 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..core.solvers.schedule import solver_schedule
 from .hardware import CpuSpec
-from .kernel import banded_lu_work, bicgstab_iteration_work, storage_for_solver
+from .kernel import banded_lu_work, iteration_work, storage_for_solver
 
 __all__ = ["CpuSolveEstimate", "estimate_cpu_dgbsv", "estimate_cpu_iterative"]
 
@@ -87,7 +88,10 @@ def estimate_cpu_iterative(
     if num_batch < 1:
         raise ValueError("iterations must be non-empty")
     storage = storage_for_solver("bicgstab", num_rows, 0)
-    work = bicgstab_iteration_work(num_rows, nnz, fmt, storage, stored_nnz=stored_nnz)
+    work = iteration_work(
+        solver_schedule("bicgstab"), num_rows, nnz, fmt, storage,
+        stored_nnz=stored_nnz,
+    )
     t_iter = work.flops / cpu.effective_flops_per_core
     per_system = iterations * t_iter
 

@@ -20,13 +20,14 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..core.solvers.schedule import OpSchedule, solver_schedule
 from ..core.workspace import StorageConfig, plan_storage, solver_vector_specs
 
 __all__ = [
     "KernelWork",
     "spmv_work",
-    "bicgstab_iteration_work",
-    "bicgstab_setup_work",
+    "iteration_work",
+    "setup_work",
     "banded_lu_work",
     "banded_qr_work",
     "storage_for_solver",
@@ -121,16 +122,22 @@ def spmv_work(num_rows: int, nnz: int, fmt: str, *, stored_nnz: int | None = Non
 
 
 def storage_for_solver(
-    solver: str, num_rows: int, shared_budget_bytes: int
+    solver: str, num_rows: int, shared_budget_bytes: int, *, gmres_restart: int = 30
 ) -> StorageConfig:
-    """Shared-memory placement for a solver's auxiliary vectors (§IV-D)."""
+    """Shared-memory placement for a solver's auxiliary vectors (§IV-D).
+
+    ``gmres_restart`` sizes the GMRES Krylov basis (``m + 1`` SpMV-operand
+    vectors); it is ignored by the fixed-footprint solvers.
+    """
     return plan_storage(
-        solver_vector_specs(solver), num_rows, shared_budget_bytes,
+        solver_vector_specs(solver, gmres_restart=gmres_restart),
+        num_rows, shared_budget_bytes,
         value_bytes=VALUE_BYTES,
     )
 
 
-def bicgstab_iteration_work(
+def iteration_work(
+    schedule: OpSchedule,
     num_rows: int,
     nnz: int,
     fmt: str,
@@ -139,47 +146,68 @@ def bicgstab_iteration_work(
     stored_nnz: int | None = None,
     preconditioner: str = "jacobi",
 ) -> KernelWork:
-    """One BiCGSTAB iteration (Algorithm 1), per system.
+    """One solver iteration, per system, derived from its declared schedule.
 
-    Counts: 2 SpMVs, 2 preconditioner applications, 4 dot products, 2 norm
-    evaluations, and ~6 vector updates over ``num_rows`` — the fused-kernel
-    schedule.  Global-vector traffic is charged only for the vectors the
-    placement spilled (each spilled vector in the touched set costs one
-    read+write pass per use).
+    Flops: each SpMV costs its format-specific count, dots and norms 2n,
+    axpy-like updates 2n, Jacobi applies n; cyclic extras (GMRES restart
+    boundaries) are amortised over the cycle length.  Global-vector
+    traffic is charged only for the vectors the §IV-D placement spilled —
+    each pays its *declared* per-iteration touches in HBM passes, not a
+    flat per-solver constant.
     """
     n = num_rows
     spmv = spmv_work(n, nnz, fmt, stored_nnz=stored_nnz)
 
-    # Vector-op flops: 4 dots (2n each), 2 norms (2n), 6 axpy-like (2n),
-    # 2 jacobi applies (n) -> ~26 n.
-    precond_flops = 2.0 * n if preconditioner == "jacobi" else 0.0
-    vec_flops = (4 + 2) * 2.0 * n + 6 * 2.0 * n + precond_flops
+    spmvs = schedule.amortized("spmvs")
+    precond_applies = schedule.amortized("precond_applies")
+    dots = schedule.amortized("dots")
+    norms = schedule.amortized("norms")
+    axpys = schedule.amortized("axpys")
 
-    # Global traffic of spilled vectors: each of Algorithm 1's 9 vectors is
-    # touched ~3 times per iteration on average; spilled ones pay HBM.
-    touches_per_vector = 3.0
-    spill_fraction = storage.num_global / max(storage.num_vectors, 1)
+    precond_flops = 1.0 * n if preconditioner == "jacobi" else 0.0
+    vec_flops = (
+        (dots + norms) * 2.0 * n
+        + axpys * 2.0 * n
+        + precond_applies * precond_flops
+    )
+
     vector_traffic = (
-        spill_fraction * 9 * touches_per_vector * n * VALUE_BYTES
+        schedule.spilled_touches(storage.global_vectors) * n * VALUE_BYTES
     )
 
     return KernelWork(
-        flops=2 * spmv.flops + vec_flops,
-        matrix_bytes=2 * spmv.matrix_bytes,
-        index_bytes=2 * spmv.index_bytes,
+        flops=spmvs * spmv.flops + vec_flops,
+        matrix_bytes=spmvs * spmv.matrix_bytes,
+        index_bytes=spmvs * spmv.index_bytes,
         vector_bytes=vector_traffic,
         rhs_bytes=0.0,
     )
 
 
-def bicgstab_setup_work(num_rows: int, nnz: int, fmt: str,
-                        *, stored_nnz: int | None = None) -> KernelWork:
-    """Per-system one-time work: initial residual, Jacobi extraction, loads."""
-    spmv = spmv_work(num_rows, nnz, fmt, stored_nnz=stored_nnz)
+def setup_work(
+    schedule: OpSchedule,
+    num_rows: int,
+    nnz: int,
+    fmt: str,
+    *,
+    stored_nnz: int | None = None,
+) -> KernelWork:
+    """Per-system one-time work of a solver's priming phase.
+
+    The declared ``setup_*`` counts (initial residual, criterion norms,
+    first Krylov quantities) plus the read-b / write-x RHS traffic.
+    """
+    n = num_rows
+    spmv = spmv_work(n, nnz, fmt, stored_nnz=stored_nnz)
+    vec_flops = (
+        (schedule.setup_dots + schedule.setup_norms + schedule.setup_axpys)
+        * 2.0 * n
+        + schedule.setup_precond_applies * n
+    )
     return KernelWork(
-        flops=spmv.flops + 4.0 * num_rows,
-        matrix_bytes=spmv.matrix_bytes,
-        index_bytes=spmv.index_bytes,
+        flops=schedule.setup_spmvs * spmv.flops + vec_flops,
+        matrix_bytes=schedule.setup_spmvs * spmv.matrix_bytes,
+        index_bytes=schedule.setup_spmvs * spmv.index_bytes,
         vector_bytes=0.0,
         rhs_bytes=2.0 * num_rows * VALUE_BYTES,  # read b, write x
     )

@@ -15,12 +15,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 
+from ..core.solvers.schedule import solver_schedule
 from .hardware import GpuSpec
 from .kernel import (
     KernelWork,
     banded_qr_work,
-    bicgstab_iteration_work,
     dense_lu_work,
+    iteration_work,
     spmv_work,
     storage_for_solver,
 )
@@ -111,8 +112,9 @@ def solver_roofline_report(
 
     storage = storage_for_solver("bicgstab", num_rows, hw.shared_budget_per_block())
     occ = compute_occupancy(hw, max(storage.shared_bytes_used, 1), num_rows)
-    iter_work = bicgstab_iteration_work(
-        num_rows, nnz, "ell", storage, stored_nnz=stored_nnz
+    iter_work = iteration_work(
+        solver_schedule("bicgstab"), num_rows, nnz, "ell", storage,
+        stored_nnz=stored_nnz,
     )
     stored = nnz if stored_nnz is None else stored_nnz
     mem = estimate_memory(

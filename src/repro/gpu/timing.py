@@ -27,14 +27,15 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..core.solvers.schedule import solver_schedule
 from ..core.workspace import StorageConfig
 from .hardware import GpuSpec
 from .kernel import (
     KernelWork,
     banded_qr_work,
     dense_lu_work,
-    bicgstab_iteration_work,
-    bicgstab_setup_work,
+    iteration_work,
+    setup_work,
     spmv_work,
     storage_for_solver,
 )
@@ -128,6 +129,7 @@ def estimate_iterative_solve(
     stored_nnz: int | None = None,
     solver: str = "bicgstab",
     preconditioner: str = "jacobi",
+    gmres_restart: int = 30,
 ) -> GpuSolveEstimate:
     """Model the fused batched iterative solve.
 
@@ -145,18 +147,29 @@ def estimate_iterative_solve(
         numerics actually required.
     stored_nnz:
         Stored entries for padded formats (default ``nnz``).
+    solver:
+        Which solver's declared :class:`~repro.core.solvers.schedule.
+        OpSchedule` to charge — each solver gets its own per-iteration
+        work, vector footprint, and spill traffic.  Unknown names raise
+        ``ValueError``.
+    gmres_restart:
+        GMRES restart length ``m``; sizes the Krylov basis for the §IV-D
+        placement and the per-iteration dot count.  Ignored otherwise.
     """
     iterations = np.asarray(iterations, dtype=np.float64)
     num_batch = iterations.shape[0]
 
-    storage = storage_for_solver(solver, num_rows, hw.shared_budget_per_block())
+    schedule = solver_schedule(solver, gmres_restart=gmres_restart)
+    storage = storage_for_solver(
+        solver, num_rows, hw.shared_budget_per_block(), gmres_restart=gmres_restart
+    )
     occ = compute_occupancy(hw, storage.shared_bytes_used, num_rows)
 
-    iter_work = bicgstab_iteration_work(
-        num_rows, nnz, fmt, storage,
+    iter_work = iteration_work(
+        schedule, num_rows, nnz, fmt, storage,
         stored_nnz=stored_nnz, preconditioner=preconditioner,
     )
-    setup_work = bicgstab_setup_work(num_rows, nnz, fmt, stored_nnz=stored_nnz)
+    setup = setup_work(schedule, num_rows, nnz, fmt, stored_nnz=stored_nnz)
 
     stored = nnz if stored_nnz is None else stored_nnz
     value_b = 8
@@ -183,13 +196,13 @@ def estimate_iterative_solve(
 
     t_iter = _slot_times(hw, iter_work, occ, mem, u_spmv, u_dense)
     mem_setup = estimate_memory(
-        hw, setup_work,
+        hw, setup,
         shared_bytes_per_block=storage.shared_bytes_used,
         blocks_per_cu=occ.blocks_per_cu,
         active_systems=active,
         reuse_passes=1.0,
     )
-    t_setup = _slot_times(hw, setup_work, occ, mem_setup, u_spmv, u_dense)
+    t_setup = _slot_times(hw, setup, occ, mem_setup, u_spmv, u_dense)
 
     block_times = t_setup + iterations * t_iter
     launch = hw.launch_overhead_us * 1e-6

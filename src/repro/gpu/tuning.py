@@ -148,6 +148,7 @@ def tune_batched_solver(
     nnz_row_max: int,
     *,
     solver: str = "bicgstab",
+    gmres_restart: int = 30,
     value_bytes: int = 8,
     padding_fraction: float | None = None,
     num_diags: int | None = None,
@@ -165,6 +166,10 @@ def tune_batched_solver(
         Row-length range of the shared sparsity pattern.
     solver:
         Solver whose auxiliary vectors the shared-memory plan covers.
+    gmres_restart:
+        Krylov subspace dimension when ``solver="gmres"`` — it sizes the
+        ``m + 1`` basis vectors the placement must cover.  Ignored by the
+        fixed-footprint solvers.
     padding_fraction:
         Exact ELL padding fraction when the row-length distribution is
         known (``tune_for_matrix`` supplies it); defaults to the
@@ -209,7 +214,8 @@ def tune_batched_solver(
     # finally to none (the kernel then streams through global memory).
     budget = hw.shared_budget_per_block()
     storage = plan_storage(
-        solver_vector_specs(solver), num_rows, budget, value_bytes=value_bytes
+        solver_vector_specs(solver, gmres_restart=gmres_restart),
+        num_rows, budget, value_bytes=value_bytes,
     )
     if storage.num_shared == 0 and budget > 0:
         rationale["shared"] = (
@@ -255,7 +261,9 @@ def tune_batched_solver(
     )
 
 
-def tune_for_matrix(hw: GpuSpec, matrix, *, solver: str = "bicgstab") -> TuningDecision:
+def tune_for_matrix(
+    hw: GpuSpec, matrix, *, solver: str = "bicgstab", gmres_restart: int = 30
+) -> TuningDecision:
     """Tune directly from a batch matrix (inspects its pattern).
 
     Knowing the full pattern, the exact padding fractions and the diagonal
@@ -280,6 +288,7 @@ def tune_for_matrix(hw: GpuSpec, matrix, *, solver: str = "bicgstab") -> TuningD
     num_diags = int(offsets.size)
     dia_padding = 1.0 - csr.nnz_per_system / (num_diags * csr.num_rows)
     return tune_batched_solver(
-        hw, csr.num_rows, lo, hi, solver=solver, padding_fraction=padding,
-        num_diags=num_diags, dia_padding_fraction=dia_padding,
+        hw, csr.num_rows, lo, hi, solver=solver, gmres_restart=gmres_restart,
+        padding_fraction=padding, num_diags=num_diags,
+        dia_padding_fraction=dia_padding,
     )

@@ -1,0 +1,217 @@
+"""Conformance tests: declared operation schedules vs executed kernels.
+
+Every batch kernel in the solvers runs masked, never skipped, so the
+operation count of a solve is fully determined by its control flow
+(:class:`~repro.core.solvers.schedule.OpStats`).  These tests instrument
+real solves and assert the measured counts equal the totals the declared
+:class:`~repro.core.solvers.schedule.OpSchedule` predicts — exactly, not
+approximately — so the GPU model and shared-memory configurator can trust
+the declarations.  The golden-parity class pins the refactored solvers to
+the seed implementation's bit-exact results on the paper's 992-row
+stencil batch.
+"""
+
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core import BatchCsr, make_solver
+from repro.core.solvers.schedule import (
+    iterative_solver_names,
+    measure_op_counts,
+    solver_schedule,
+)
+from repro.core.stop import AbsoluteResidual
+from repro.core.workspace import solver_vector_specs
+
+SOLVERS = ("bicgstab", "cg", "cgs", "gmres", "richardson")
+
+GOLDEN = Path(__file__).parent.parent / "data" / "golden_solvers_n992.json"
+
+
+def build_solver(name, tol=1e-10, max_iter=60, **kwargs):
+    extra = {"gmres": {"restart": 30}}.get(name, {})
+    extra.update(kwargs)
+    return make_solver(
+        name, preconditioner="jacobi", criterion=AbsoluteResidual(tol),
+        max_iter=max_iter, **extra,
+    )
+
+
+def make_batch(num_batch=6, n=40, *, seed=20220157, spd=False, stagger=False):
+    """Well-conditioned diagonally dominant batch with a shared pattern.
+
+    ``spd`` symmetrises for CG; ``stagger`` makes the second half of the
+    batch nearly diagonal so systems converge at very different speeds
+    (exercises verify/freeze and compaction paths).
+    """
+    rng = np.random.default_rng(seed)
+    pattern = rng.random((1, n, n)) < 0.15
+    vals = rng.standard_normal((num_batch, n, n)) * pattern
+    if spd:
+        vals = vals + np.swapaxes(vals, 1, 2)
+    if stagger:
+        vals[num_batch // 2:] *= 0.01
+    row_sums = np.abs(vals).sum(axis=2, keepdims=True)
+    eye = np.eye(n)[None, :, :]
+    vals = vals * (1 - eye) + eye * (row_sums + 1.0)
+    return BatchCsr.from_dense(vals)
+
+
+def rhs_for(matrix, *, seed=7):
+    rng = np.random.default_rng(seed)
+    x_true = rng.standard_normal((matrix.num_batch, matrix.num_rows))
+    return matrix.apply(x_true)
+
+
+def assert_conformant(solver, counts, stats):
+    expected = solver.op_schedule().expected_counts(stats)
+    measured = counts.as_dict()
+    assert measured == pytest.approx(expected, abs=0), (
+        f"{solver.name}: measured {measured} != declared {expected} "
+        f"(stats {stats})"
+    )
+
+
+class TestRegistry:
+    def test_names_cover_the_factory(self):
+        assert iterative_solver_names() == SOLVERS
+
+    def test_unknown_solver_raises(self):
+        with pytest.raises(ValueError, match="unknown solver"):
+            solver_schedule("chebyshev")
+
+    def test_gmres_restart_validated(self):
+        with pytest.raises(ValueError):
+            solver_schedule("gmres", gmres_restart=0)
+
+    def test_workspace_specs_are_the_schedule_vectors(self):
+        for name in SOLVERS:
+            assert solver_vector_specs(name) == solver_schedule(name).vectors
+        assert (
+            solver_vector_specs("gmres", gmres_restart=10)
+            == solver_schedule("gmres", gmres_restart=10).vectors
+        )
+
+    def test_solver_objects_report_their_schedule(self):
+        for name in SOLVERS:
+            assert build_solver(name).op_schedule().solver == name
+        gm = build_solver("gmres", restart=10)
+        assert gm.op_schedule().cycle_length == 10
+        assert len(gm.op_schedule().vectors) == 13
+
+    def test_schedules_have_positive_touches(self):
+        for name in SOLVERS:
+            for spec in solver_schedule(name).vectors:
+                assert spec.touches > 0.0
+
+
+class TestConformance:
+    """Measured kernel invocations equal the declared totals, exactly."""
+
+    @pytest.mark.parametrize("name", SOLVERS)
+    def test_fixed_trip_count_exact(self, name):
+        """Unreachable tolerance: every solver runs all max_iter trips."""
+        matrix = make_batch(spd=(name == "cg"))
+        solver = build_solver(name, tol=1e-30, max_iter=7)
+        counts, stats, result = measure_op_counts(solver, matrix, rhs_for(matrix))
+        assert stats.trips == 7
+        assert not result.converged.any()
+        assert_conformant(solver, counts, stats)
+
+    @pytest.mark.parametrize("name", SOLVERS)
+    def test_convergent_run_exact(self, name):
+        """Early exit, verify-and-freeze, and the skipped tail are all
+        predicted by the schedule."""
+        matrix = make_batch(spd=(name == "cg"))
+        solver = build_solver(name, tol=1e-10, max_iter=300)
+        counts, stats, result = measure_op_counts(solver, matrix, rhs_for(matrix))
+        assert result.converged.all()
+        assert_conformant(solver, counts, stats)
+
+    @pytest.mark.parametrize("name", SOLVERS)
+    def test_staggered_convergence_exact(self, name):
+        """Systems freezing at very different iterations (repeated verify
+        events) keep the counts exact."""
+        matrix = make_batch(num_batch=12, stagger=True, spd=(name == "cg"))
+        solver = build_solver(
+            name, tol=1e-10, max_iter=300, compact_threshold=None,
+            **({"restart": 5} if name == "gmres" else {}),
+        )
+        counts, stats, result = measure_op_counts(solver, matrix, rhs_for(matrix))
+        assert result.converged.all()
+        assert result.iterations.min() < result.iterations.max()
+        assert_conformant(solver, counts, stats)
+
+    @pytest.mark.parametrize("name", SOLVERS)
+    def test_compaction_preserves_counts_and_results(self, name):
+        """Active-batch compaction changes kernel *sizes*, never kernel
+        *counts* — and stays bit-identical per system."""
+        matrix = make_batch(num_batch=12, stagger=True, spd=(name == "cg"))
+        b = rhs_for(matrix)
+        extra = {"restart": 5} if name == "gmres" else {}
+        plain = build_solver(name, max_iter=300, compact_threshold=None, **extra)
+        compacting = build_solver(
+            name, max_iter=300, compact_threshold=0.5, compact_min_batch=4,
+            **extra,
+        )
+        c0, s0, r0 = measure_op_counts(plain, matrix, b)
+        c1, s1, r1 = measure_op_counts(compacting, matrix, b)
+        assert c0.as_dict() == c1.as_dict()
+        assert np.array_equal(r0.iterations, r1.iterations)
+        assert np.array_equal(r0.converged, r1.converged)
+        assert np.array_equal(r0.x, r1.x)
+        assert np.array_equal(r0.residual_norms, r1.residual_norms)
+        assert_conformant(compacting, c1, s1)
+
+    def test_instrumentation_is_transparent(self):
+        """measure_op_counts must not perturb the numerics."""
+        matrix = make_batch()
+        b = rhs_for(matrix)
+        solver = build_solver("bicgstab", max_iter=300)
+        _, _, instrumented = measure_op_counts(solver, matrix, b)
+        bare = build_solver("bicgstab", max_iter=300).solve(matrix, b)
+        assert np.array_equal(instrumented.x, bare.x)
+        assert np.array_equal(instrumented.iterations, bare.iterations)
+        assert np.array_equal(instrumented.residual_norms, bare.residual_norms)
+
+
+class TestGoldenParity:
+    """The refactored solvers reproduce the seed implementation bit for bit
+    on the paper's n = 992 XGC stencil batch."""
+
+    @pytest.fixture(scope="class")
+    def golden(self):
+        with open(GOLDEN) as fh:
+            return json.load(fh)
+
+    @pytest.fixture(scope="class")
+    def problem(self, paper_app):
+        return paper_app.build_matrices()
+
+    @pytest.mark.parametrize("name", SOLVERS)
+    def test_bit_identical_to_seed(self, name, golden, problem):
+        meta = golden["meta"]
+        matrix, f = problem
+        extra = {}
+        if name == "gmres":
+            extra["restart"] = meta["gmres_restart"]
+        if name == "richardson":
+            extra["relaxation"] = meta["richardson_relaxation"]
+        solver = make_solver(
+            name,
+            preconditioner=meta["preconditioner"],
+            criterion=AbsoluteResidual(meta["tol"]),
+            max_iter=meta["max_iter"],
+            **extra,
+        )
+        counts, stats, result = measure_op_counts(solver, matrix, f)
+        ref = golden["solvers"][name]
+        assert result.iterations.tolist() == ref["iterations"]
+        assert result.converged.tolist() == ref["converged"]
+        assert [v.hex() for v in result.residual_norms] == (
+            ref["residual_norms_hex"]
+        )
+        assert_conformant(solver, counts, stats)

@@ -2,11 +2,12 @@
 
 import pytest
 
+from repro.core.solvers.schedule import solver_schedule
 from repro.gpu import (
     banded_lu_work,
     banded_qr_work,
-    bicgstab_iteration_work,
-    bicgstab_setup_work,
+    iteration_work,
+    setup_work,
     spmv_work,
     storage_for_solver,
 )
@@ -63,26 +64,66 @@ class TestSpmvWork:
         assert c.matrix_bytes == 3 * a.matrix_bytes
 
 
-class TestBicgstabWork:
-    def test_two_spmvs_per_iteration(self):
+class TestIterationWork:
+    def test_two_spmvs_per_bicgstab_iteration(self):
         storage = storage_for_solver("bicgstab", 992, 10**9)  # all shared
-        w = bicgstab_iteration_work(992, 8928, "ell", storage)
+        w = iteration_work(solver_schedule("bicgstab"), 992, 8928, "ell", storage)
         spmv = spmv_work(992, 8928, "ell")
         assert w.matrix_bytes == 2 * spmv.matrix_bytes
         assert w.flops > 2 * spmv.flops  # plus the vector ops
 
     def test_spilled_vectors_cost_traffic(self):
+        sched = solver_schedule("bicgstab")
         all_shared = storage_for_solver("bicgstab", 992, 10**9)
         none_shared = storage_for_solver("bicgstab", 992, 0)
-        w_fast = bicgstab_iteration_work(992, 8928, "ell", all_shared)
-        w_slow = bicgstab_iteration_work(992, 8928, "ell", none_shared)
+        w_fast = iteration_work(sched, 992, 8928, "ell", all_shared)
+        w_slow = iteration_work(sched, 992, 8928, "ell", none_shared)
         assert w_fast.vector_bytes == 0
         assert w_slow.vector_bytes > 0
         assert w_slow.flops == w_fast.flops  # traffic differs, not work
 
+    def test_spill_traffic_uses_declared_touches(self):
+        """Fully spilled, the traffic is exactly the schedule's touch sum."""
+        sched = solver_schedule("bicgstab")
+        none_shared = storage_for_solver("bicgstab", 992, 0)
+        w = iteration_work(sched, 992, 8928, "ell", none_shared)
+        touches = sum(v.touches for v in sched.vectors)
+        assert w.vector_bytes == pytest.approx(touches * 992 * 8)
+
+    def test_cg_does_fewer_spmvs_than_bicgstab(self):
+        cg = iteration_work(
+            solver_schedule("cg"), 992, 8928, "ell",
+            storage_for_solver("cg", 992, 10**9),
+        )
+        bi = iteration_work(
+            solver_schedule("bicgstab"), 992, 8928, "ell",
+            storage_for_solver("bicgstab", 992, 10**9),
+        )
+        assert cg.matrix_bytes == bi.matrix_bytes / 2
+        assert cg.flops < bi.flops
+
+    def test_gmres_restart_amortises_cycle_work(self):
+        """A longer restart spreads the cycle-boundary SpMVs thinner but
+        does more Gram-Schmidt dots per average iteration."""
+        storage = storage_for_solver("gmres", 992, 10**9, gmres_restart=10)
+        w10 = iteration_work(
+            solver_schedule("gmres", gmres_restart=10), 992, 8928, "ell", storage
+        )
+        storage30 = storage_for_solver("gmres", 992, 10**9, gmres_restart=30)
+        w30 = iteration_work(
+            solver_schedule("gmres", gmres_restart=30), 992, 8928, "ell", storage30
+        )
+        assert w30.matrix_bytes < w10.matrix_bytes  # fewer restarts
+        assert w30.flops > w10.flops  # deeper subspace: more dots
+
     def test_setup_includes_rhs(self):
-        w = bicgstab_setup_work(992, 8928, "ell")
+        w = setup_work(solver_schedule("bicgstab"), 992, 8928, "ell")
         assert w.rhs_bytes == 2 * 992 * 8
+
+    def test_setup_differs_per_solver(self):
+        bi = setup_work(solver_schedule("bicgstab"), 992, 8928, "ell")
+        cg = setup_work(solver_schedule("cg"), 992, 8928, "ell")
+        assert cg.flops > bi.flops  # CG primes z = M^-1 r and rz = r.z
 
 
 class TestDirectWork:
@@ -108,6 +149,6 @@ class TestDirectWork:
         """The Fig. 6 argument: ~35 BiCGSTAB iterations cost far fewer
         flops than one exact banded factorisation at kl = ku = 33."""
         storage = storage_for_solver("bicgstab", 992, 10**9)
-        it = bicgstab_iteration_work(992, 8928, "ell", storage)
+        it = iteration_work(solver_schedule("bicgstab"), 992, 8928, "ell", storage)
         qr = banded_qr_work(992, 33, 33)
         assert qr.flops > 35 * it.flops

@@ -106,6 +106,61 @@ class TestIterativeSolveModel:
         assert est_mi.storage.num_shared == 8  # full 64 KiB LDS
 
 
+class TestSolverSpecificEstimates:
+    """Regression: solver="cg" (etc.) must charge that solver's schedule,
+    not silently fall back to BiCGSTAB's operation counts."""
+
+    SOLVERS = ("bicgstab", "cg", "cgs", "gmres", "richardson")
+
+    def test_each_solver_gets_its_own_cost(self):
+        its = mixed_iterations(240)
+        times = {
+            s: estimate_iterative_solve(
+                A100, "ell", N, NNZ, its, stored_nnz=STORED_ELL, solver=s
+            ).total_time_s
+            for s in self.SOLVERS
+        }
+        assert len(set(times.values())) == len(self.SOLVERS), times
+
+    def test_cg_iteration_cheaper_than_bicgstab(self):
+        """One SpMV per iteration vs two: at equal iteration counts the
+        modelled CG solve must come in under BiCGSTAB."""
+        its = mixed_iterations(240)
+        t_cg = estimate_iterative_solve(
+            A100, "ell", N, NNZ, its, stored_nnz=STORED_ELL, solver="cg"
+        ).total_time_s
+        t_bi = estimate_iterative_solve(
+            A100, "ell", N, NNZ, its, stored_nnz=STORED_ELL, solver="bicgstab"
+        ).total_time_s
+        assert t_cg < t_bi
+
+    def test_unknown_solver_raises(self):
+        with pytest.raises(ValueError, match="unknown solver"):
+            estimate_iterative_solve(
+                A100, "ell", N, NNZ, mixed_iterations(60),
+                stored_nnz=STORED_ELL, solver="jacobi-sweep",
+            )
+
+    def test_gmres_restart_changes_estimate(self):
+        its = mixed_iterations(240)
+        t10 = estimate_iterative_solve(
+            A100, "ell", N, NNZ, its, stored_nnz=STORED_ELL,
+            solver="gmres", gmres_restart=10,
+        ).total_time_s
+        t30 = estimate_iterative_solve(
+            A100, "ell", N, NNZ, its, stored_nnz=STORED_ELL,
+            solver="gmres", gmres_restart=30,
+        ).total_time_s
+        assert t10 != t30
+
+    def test_gmres_restart_sizes_storage(self):
+        est = estimate_iterative_solve(
+            A100, "ell", N, NNZ, mixed_iterations(60), stored_nnz=STORED_ELL,
+            solver="gmres", gmres_restart=10,
+        )
+        assert est.storage.num_vectors == 13  # 11 basis + r + x
+
+
 class TestBaselineModels:
     def test_qr_not_competitive(self):
         """Fig. 6: the batched direct QR is ~10-30x slower than BiCGSTAB

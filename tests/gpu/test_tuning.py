@@ -114,6 +114,17 @@ class TestSharedMemory:
         assert d.storage.num_vectors == 33
         assert d.storage.num_shared == 6
 
+    def test_gmres_restart_threads_into_storage(self):
+        """Regression: the restart length must size the planned basis —
+        it used to be silently ignored."""
+        d = tune_batched_solver(V100, 992, 9, 9, solver="gmres", gmres_restart=10)
+        assert d.storage.num_vectors == 13  # 11 basis + r + x
+
+    def test_gmres_restart_threads_through_matrix_path(self, paper_app):
+        matrix, _ = paper_app.build_matrices()
+        d = tune_for_matrix(V100, matrix, solver="gmres", gmres_restart=10)
+        assert d.storage.num_vectors == 13
+
 
 class TestKernelPath:
     def test_small_systems_fuse(self):

@@ -9,6 +9,8 @@ Public surface:
   direct baselines (:class:`BatchBandedLu`, :class:`BatchBandedQr`).
 * Components: preconditioners, stopping criteria, per-system loggers, and
   the §IV-D shared-memory placement planner.
+* Precision: :func:`precision_policy` (``fp64`` / ``fp32`` / ``mixed``)
+  and :class:`RefinementSolver` for fp64-accurate low-precision solves.
 """
 
 from .batch_csr import BatchCsr
@@ -40,6 +42,14 @@ from .convert import (
     to_format,
 )
 from .logging_ import BatchLogger
+from .precision import (
+    FP32,
+    FP64,
+    MIXED,
+    PrecisionPolicy,
+    policy_for_dtype,
+    precision_policy,
+)
 from .preconditioners import (
     BatchPreconditioner,
     BlockJacobiPreconditioner,
@@ -59,6 +69,7 @@ from .solvers import (
     BatchCgs,
     BatchGmres,
     BatchRichardson,
+    RefinementSolver,
     MonolithicBlockSolver,
     assemble_block_diagonal,
     banded_lu_solve,
@@ -138,6 +149,7 @@ __all__ = [
     "BatchCgs",
     "BatchGmres",
     "BatchRichardson",
+    "RefinementSolver",
     "BatchBandedLu",
     "BatchBandedQr",
     "BatchDenseLu",
@@ -167,6 +179,13 @@ __all__ = [
     "CombinedCriterion",
     "make_criterion",
     "BatchLogger",
+    # precision
+    "PrecisionPolicy",
+    "precision_policy",
+    "policy_for_dtype",
+    "FP64",
+    "FP32",
+    "MIXED",
     "SolverWorkspace",
     "StorageConfig",
     "VectorSpec",

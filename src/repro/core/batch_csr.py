@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..utils.validation import as_f64_array, as_index_array
+from ..utils.validation import as_index_array, as_value_array
 from .types import DTYPE, INDEX_DTYPE, BatchShape, DimensionMismatch, InvalidFormatError
 
 __all__ = ["BatchCsr"]
@@ -54,7 +54,7 @@ class BatchCsr:
     ):
         row_ptrs = as_index_array(row_ptrs, "row_ptrs", ndim=1)
         col_idxs = as_index_array(col_idxs, "col_idxs", ndim=1)
-        values = as_f64_array(values, "values", ndim=2)
+        values = as_value_array(values, "values", ndim=2)
 
         num_rows = row_ptrs.shape[0] - 1
         if num_rows < 1:
@@ -102,6 +102,11 @@ class BatchCsr:
         return self._values
 
     @property
+    def dtype(self) -> np.dtype:
+        """Value dtype of the stored entries (float32 or float64)."""
+        return self._values.dtype
+
+    @property
     def shape(self) -> BatchShape:
         return self._shape
 
@@ -140,7 +145,7 @@ class BatchCsr:
         a position is stored if any system has ``|a_ij| > tol`` there, so no
         system loses information.
         """
-        dense_values = as_f64_array(dense_values, "dense_values", ndim=3)
+        dense_values = as_value_array(dense_values, "dense_values", ndim=3)
         mask = np.any(np.abs(dense_values) > tol, axis=0)
         rows, cols = np.nonzero(mask)
         num_rows = dense_values.shape[1]
@@ -168,7 +173,7 @@ class BatchCsr:
         """
         rows = as_index_array(rows, "rows", ndim=1)
         cols = as_index_array(cols, "cols", ndim=1)
-        values = as_f64_array(values, "values", ndim=2)
+        values = as_value_array(values, "values", ndim=2)
         if values.shape != (num_batch, rows.shape[0]):
             raise DimensionMismatch(
                 f"values must have shape ({num_batch}, {rows.shape[0]}), "
@@ -189,7 +194,7 @@ class BatchCsr:
             new_group[1:] = (np.diff(rows_s) != 0) | (np.diff(cols_s) != 0)
             group_ids = np.cumsum(new_group) - 1
             n_groups = int(group_ids[-1]) + 1
-            folded = np.zeros((num_batch, n_groups), dtype=DTYPE)
+            folded = np.zeros((num_batch, n_groups), dtype=values.dtype)
             np.add.at(folded.T, group_ids, vals_s.T)
             rows_u = rows_s[new_group]
             cols_u = cols_s[new_group]
@@ -207,7 +212,7 @@ class BatchCsr:
 
     def entry_dense(self, batch_index: int) -> np.ndarray:
         """Materialise one batch entry as a dense 2-D array."""
-        out = np.zeros((self.num_rows, self.num_cols), dtype=DTYPE)
+        out = np.zeros((self.num_rows, self.num_cols), dtype=self._values.dtype)
         rows = np.repeat(
             np.arange(self.num_rows, dtype=np.int64), self.nnz_per_row()
         )
@@ -220,7 +225,7 @@ class BatchCsr:
         Missing diagonal entries (not in the pattern) come back as 0.
         """
         n = min(self.num_rows, self.num_cols)
-        diag = np.zeros((self.num_batch, n), dtype=DTYPE)
+        diag = np.zeros((self.num_batch, n), dtype=self._values.dtype)
         rows = np.repeat(np.arange(self.num_rows, dtype=np.int64), self.nnz_per_row())
         on_diag = (rows == self._col_idxs) & (rows < n)
         diag[:, rows[on_diag]] = self._values[:, on_diag]
@@ -236,7 +241,26 @@ class BatchCsr:
             check=False,
         )
 
-    def take_batch(self, indices: np.ndarray) -> "BatchCsr":
+    def astype(self, dtype) -> "BatchCsr":
+        """Batch with values cast to ``dtype`` (self when already there).
+
+        The shared sparsity pattern is reused by reference, so a cast
+        batch can be refreshed in place from a same-pattern source with
+        ``np.copyto(cast.values, src.values, casting="same_kind")``.
+        """
+        if self._values.dtype == np.dtype(dtype):
+            return self
+        return BatchCsr(
+            self.num_cols,
+            self._row_ptrs,
+            self._col_idxs,
+            self._values.astype(dtype),
+            check=False,
+        )
+
+    def take_batch(
+        self, indices: np.ndarray, *, values_out: np.ndarray | None = None
+    ) -> "BatchCsr":
         """Gather a sub-batch of systems into a compact batch.
 
         ``indices`` is an integer index array or boolean mask over the batch
@@ -244,19 +268,30 @@ class BatchCsr:
         selected systems' values are gathered — this is the host analogue of
         the GPU gather that active-batch compaction performs when most of a
         batch has converged.  Each selected system's values are bit-identical
-        to the original, so its SpMV results are unchanged.
+        to the original, so its SpMV results are unchanged.  ``values_out``
+        is optional preallocated storage for the gathered values (leading
+        ``len(indices)`` systems used), making repeated compaction events
+        allocation-free.
         """
+        indices = np.asarray(indices)
+        if values_out is None:
+            gathered = self._values[indices]
+        else:
+            if indices.dtype == np.bool_:
+                indices = np.flatnonzero(indices)
+            gathered = values_out[: indices.size]
+            np.take(self._values, indices, axis=0, out=gathered)
         return BatchCsr(
             self.num_cols,
             self._row_ptrs,
             self._col_idxs,
-            self._values[np.asarray(indices)],
+            gathered,
             check=False,
         )
 
     def scale_values(self, factor: float | np.ndarray) -> "BatchCsr":
         """Return a new batch with values scaled per system (or globally)."""
-        factor = np.asarray(factor, dtype=DTYPE)
+        factor = np.asarray(factor, dtype=self._values.dtype)
         if factor.ndim == 1:
             factor = factor[:, None]
         return BatchCsr(
@@ -282,7 +317,7 @@ class BatchCsr:
         gathered = x[:, self._col_idxs]
         gathered *= self._values
         if out is None:
-            out = np.empty((self.num_batch, self.num_rows), dtype=DTYPE)
+            out = np.empty((self.num_batch, self.num_rows), dtype=self._values.dtype)
         nnz = self.nnz_per_system
         if nnz == 0:
             out[...] = 0.0
@@ -293,7 +328,7 @@ class BatchCsr:
         # prefix sum would).  A zero sentinel keeps trailing empty rows'
         # start index (== nnz) in bounds; reduceat returns the element at
         # `start` for empty segments, which the mask then zeroes.
-        padded = np.empty((self.num_batch, nnz + 1), dtype=DTYPE)
+        padded = np.empty((self.num_batch, nnz + 1), dtype=gathered.dtype)
         padded[:, :nnz] = gathered
         padded[:, nnz] = 0.0
         starts = self._row_ptrs[:-1].astype(np.int64)
@@ -320,8 +355,8 @@ class BatchCsr:
         ``y``.
         """
         ax = self.apply(x, out=work)
-        alpha = np.asarray(alpha, dtype=DTYPE)
-        beta = np.asarray(beta, dtype=DTYPE)
+        alpha = np.asarray(alpha, dtype=ax.dtype)
+        beta = np.asarray(beta, dtype=y.dtype)
         if alpha.ndim == 1:
             alpha = alpha[:, None]
         if beta.ndim == 1:

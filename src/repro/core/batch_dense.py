@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..utils.validation import as_f64_array
+from ..utils.validation import as_value_array
 from .types import DTYPE, BatchShape, DimensionMismatch, InvalidFormatError
 
 __all__ = [
@@ -48,7 +48,7 @@ class BatchDense:
     format_name = "dense"
 
     def __init__(self, values: np.ndarray):
-        values = as_f64_array(values, "values", ndim=3)
+        values = as_value_array(values, "values", ndim=3)
         self._values = values
         self._shape = BatchShape(*values.shape)
 
@@ -58,6 +58,11 @@ class BatchDense:
     def values(self) -> np.ndarray:
         """Per-entry dense values, shape ``(num_batch, num_rows, num_cols)``."""
         return self._values
+
+    @property
+    def dtype(self) -> np.dtype:
+        """Value dtype of the stored entries (float32 or float64)."""
+        return self._values.dtype
 
     @property
     def shape(self) -> BatchShape:
@@ -131,13 +136,31 @@ class BatchDense:
         """Deep copy of the batch."""
         return BatchDense(self._values.copy())
 
-    def take_batch(self, indices: np.ndarray) -> "BatchDense":
+    def astype(self, dtype) -> "BatchDense":
+        """Batch with values cast to ``dtype`` (self when already there)."""
+        if self._values.dtype == np.dtype(dtype):
+            return self
+        return BatchDense(self._values.astype(dtype))
+
+    def take_batch(
+        self, indices: np.ndarray, *, values_out: np.ndarray | None = None
+    ) -> "BatchDense":
         """Gather a sub-batch of systems into a compact batch.
 
         ``indices`` is an integer index array or boolean mask over the batch
-        axis; selected systems keep their values bit-for-bit.
+        axis; selected systems keep their values bit-for-bit.  ``values_out``
+        is optional preallocated value storage for the gathered sub-batch
+        (its leading ``len(indices)`` systems are used), letting repeated
+        compaction events skip the per-event allocation.
         """
-        return BatchDense(self._values[np.asarray(indices)])
+        indices = np.asarray(indices)
+        if values_out is None:
+            return BatchDense(self._values[indices])
+        if indices.dtype == np.bool_:
+            indices = np.flatnonzero(indices)
+        dst = values_out[: indices.size]
+        np.take(self._values, indices, axis=0, out=dst)
+        return BatchDense(dst)
 
     # -- matrix-vector products -------------------------------------------
 
@@ -171,8 +194,8 @@ class BatchDense:
         """
         self._shape.compatible_vector(x, "x")
         ax = np.einsum("bij,bj->bi", self._values, x, optimize=True, out=work)
-        alpha = np.asarray(alpha, dtype=DTYPE)
-        beta = np.asarray(beta, dtype=DTYPE)
+        alpha = np.asarray(alpha, dtype=ax.dtype)
+        beta = np.asarray(beta, dtype=y.dtype)
         if alpha.ndim == 1:
             alpha = alpha[:, None]
         if beta.ndim == 1:
@@ -191,20 +214,34 @@ class BatchDense:
 # Batched BLAS-1 kernels operating on (num_batch, n) batch vectors.
 # ---------------------------------------------------------------------------
 
-def batch_dot(a: np.ndarray, b: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
+def batch_dot(
+    a: np.ndarray,
+    b: np.ndarray,
+    out: np.ndarray | None = None,
+    *,
+    dtype=None,
+) -> np.ndarray:
     """Per-system dot products: ``out[k] = a[k] . b[k]``.
 
     Both inputs have shape ``(num_batch, n)``; the result has shape
-    ``(num_batch,)``.
+    ``(num_batch,)``.  ``dtype`` sets the accumulation dtype of the
+    reduction — the mixed-precision policy passes float64 here so that
+    float32 vectors keep double-precision dot products.
     """
     if a.shape != b.shape:
         raise DimensionMismatch(f"dot operands differ in shape: {a.shape} vs {b.shape}")
-    return np.einsum("bi,bi->b", a, b, out=out)
+    return np.einsum("bi,bi->b", a, b, out=out, dtype=dtype)
 
 
-def batch_norm2(a: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
-    """Per-system Euclidean norms: ``out[k] = ||a[k]||_2``."""
-    sq = np.einsum("bi,bi->b", a, a)
+def batch_norm2(
+    a: np.ndarray, out: np.ndarray | None = None, *, dtype=None
+) -> np.ndarray:
+    """Per-system Euclidean norms: ``out[k] = ||a[k]||_2``.
+
+    ``dtype`` sets the accumulation dtype of the squared sum (see
+    :func:`batch_dot`).
+    """
+    sq = np.einsum("bi,bi->b", a, a, dtype=dtype)
     if out is None:
         return np.sqrt(sq)
     np.sqrt(sq, out=out)
@@ -219,7 +256,7 @@ def batch_axpy(alpha: float | np.ndarray, x: np.ndarray, y: np.ndarray) -> np.nd
     """
     if x.shape != y.shape:
         raise DimensionMismatch(f"axpy operands differ in shape: {x.shape} vs {y.shape}")
-    alpha = np.asarray(alpha, dtype=DTYPE)
+    alpha = np.asarray(alpha, dtype=y.dtype)
     if alpha.ndim == 1:
         alpha = alpha[:, None]
     y += alpha * x
@@ -228,7 +265,7 @@ def batch_axpy(alpha: float | np.ndarray, x: np.ndarray, y: np.ndarray) -> np.nd
 
 def batch_scale(alpha: float | np.ndarray, x: np.ndarray) -> np.ndarray:
     """In-place batched scaling: ``x[k] *= alpha[k]``."""
-    alpha = np.asarray(alpha, dtype=DTYPE)
+    alpha = np.asarray(alpha, dtype=x.dtype)
     if alpha.ndim == 1:
         alpha = alpha[:, None]
     x *= alpha

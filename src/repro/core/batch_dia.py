@@ -38,8 +38,8 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..utils.validation import as_f64_array, as_index_array
-from .types import DTYPE, BatchShape, DimensionMismatch, InvalidFormatError
+from ..utils.validation import as_index_array, as_value_array
+from .types import BatchShape, DimensionMismatch, InvalidFormatError
 
 __all__ = ["BatchDia"]
 
@@ -75,7 +75,7 @@ class BatchDia:
         check: bool = True,
     ):
         offsets = as_index_array(offsets, "offsets", ndim=1)
-        values = as_f64_array(values, "values", ndim=3)
+        values = as_value_array(values, "values", ndim=3)
         num_diags = offsets.shape[0]
         if num_diags < 1:
             raise InvalidFormatError("offsets must hold at least one diagonal")
@@ -125,6 +125,11 @@ class BatchDia:
     def values(self) -> np.ndarray:
         """Per-system bands, shape ``(num_batch, num_diags, num_rows)``."""
         return self._values
+
+    @property
+    def dtype(self) -> np.dtype:
+        """Value dtype of the stored entries (float32 or float64)."""
+        return self._values.dtype
 
     @property
     def shape(self) -> BatchShape:
@@ -184,7 +189,7 @@ class BatchDia:
         system are stored as explicit zeros (the format has no way to skip
         them — that is its padding trade-off).
         """
-        dense_values = as_f64_array(dense_values, "dense_values", ndim=3)
+        dense_values = as_value_array(dense_values, "dense_values", ndim=3)
         num_batch, num_rows, num_cols = dense_values.shape
         mask = np.any(np.abs(dense_values) > tol, axis=0)
         rows, cols = np.nonzero(mask)
@@ -192,7 +197,7 @@ class BatchDia:
         offsets = np.unique(diag_of)
         if offsets.size == 0:
             offsets = np.zeros(1, dtype=np.int64)
-        bands = np.zeros((num_batch, offsets.size, num_rows), dtype=DTYPE)
+        bands = np.zeros((num_batch, offsets.size, num_rows), dtype=dense_values.dtype)
         slot = np.searchsorted(offsets, diag_of)
         bands[:, slot, rows] = dense_values[:, rows, cols]
         return cls(num_cols, offsets, bands, check=False)
@@ -201,7 +206,7 @@ class BatchDia:
 
     def entry_dense(self, batch_index: int) -> np.ndarray:
         """Materialise one batch entry as a dense 2-D array."""
-        out = np.zeros((self.num_rows, self.num_cols), dtype=DTYPE)
+        out = np.zeros((self.num_rows, self.num_cols), dtype=self._values.dtype)
         for k, d, lo, hi in self._spans:
             rows = np.arange(lo, hi)
             out[rows, rows + d] = self._values[batch_index, k, lo:hi]
@@ -217,7 +222,7 @@ class BatchDia:
         pos = int(np.searchsorted(self._offsets, 0))
         if pos < self.num_diags and self._offsets[pos] == 0:
             return self._values[:, pos, :n].copy()
-        return np.zeros((self.num_batch, n), dtype=DTYPE)
+        return np.zeros((self.num_batch, n), dtype=self._values.dtype)
 
     def copy(self) -> "BatchDia":
         """Deep copy (shared offset array reused; read-only by contract)."""
@@ -225,7 +230,17 @@ class BatchDia:
             self.num_cols, self._offsets, self._values.copy(), check=False
         )
 
-    def take_batch(self, indices: np.ndarray) -> "BatchDia":
+    def astype(self, dtype) -> "BatchDia":
+        """Batch with bands cast to ``dtype`` (self when already there)."""
+        if self._values.dtype == np.dtype(dtype):
+            return self
+        return BatchDia(
+            self.num_cols, self._offsets, self._values.astype(dtype), check=False
+        )
+
+    def take_batch(
+        self, indices: np.ndarray, *, values_out: np.ndarray | None = None
+    ) -> "BatchDia":
         """Gather a sub-batch of systems into a compact batch.
 
         ``indices`` is an integer index array or boolean mask over the
@@ -233,15 +248,22 @@ class BatchDia:
         selected systems' bands are gathered, bit-for-bit (see
         :meth:`BatchCsr.take_batch <repro.core.batch_csr.BatchCsr.take_batch>`)
         — so :class:`~repro.core.compaction.BatchCompactor` works unchanged.
+        ``values_out`` is optional preallocated storage for the gathered
+        bands (leading ``len(indices)`` systems used).
         """
-        return BatchDia(
-            self.num_cols, self._offsets, self._values[np.asarray(indices)],
-            check=False,
-        )
+        indices = np.asarray(indices)
+        if values_out is None:
+            gathered = self._values[indices]
+        else:
+            if indices.dtype == np.bool_:
+                indices = np.flatnonzero(indices)
+            gathered = values_out[: indices.size]
+            np.take(self._values, indices, axis=0, out=gathered)
+        return BatchDia(self.num_cols, self._offsets, gathered, check=False)
 
     def scale_values(self, factor: float | np.ndarray) -> "BatchDia":
         """Return a new batch with values scaled per system (or globally)."""
-        factor = np.asarray(factor, dtype=DTYPE)
+        factor = np.asarray(factor, dtype=self._values.dtype)
         if factor.ndim == 1:
             factor = factor[:, None, None]
         return BatchDia(
@@ -253,7 +275,8 @@ class BatchDia:
     def _scratch(self) -> np.ndarray:
         if self._work is None:
             self._work = np.empty(
-                (self.num_batch, max(self.num_rows, self.num_cols)), dtype=DTYPE
+                (self.num_batch, max(self.num_rows, self.num_cols)),
+                dtype=self._values.dtype,
             )
         return self._work
 
@@ -267,7 +290,7 @@ class BatchDia:
         """
         self._shape.compatible_vector(x, "x")
         if out is None:
-            out = np.zeros((self.num_batch, self.num_rows), dtype=DTYPE)
+            out = np.zeros((self.num_batch, self.num_rows), dtype=self._values.dtype)
         else:
             out[...] = 0.0
         work = self._scratch()
@@ -298,8 +321,8 @@ class BatchDia:
         ``work`` must not alias ``x`` or ``y``.
         """
         ax = self.apply(x, out=work)
-        alpha = np.asarray(alpha, dtype=DTYPE)
-        beta = np.asarray(beta, dtype=DTYPE)
+        alpha = np.asarray(alpha, dtype=ax.dtype)
+        beta = np.asarray(beta, dtype=y.dtype)
         if alpha.ndim == 1:
             alpha = alpha[:, None]
         if beta.ndim == 1:

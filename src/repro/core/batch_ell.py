@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..utils.validation import as_f64_array, as_index_array
+from ..utils.validation import as_index_array, as_value_array
 from .types import DTYPE, INDEX_DTYPE, BatchShape, DimensionMismatch, InvalidFormatError
 
 __all__ = ["BatchEll", "PAD_COL"]
@@ -59,7 +59,7 @@ class BatchEll:
         check: bool = True,
     ):
         col_idxs = as_index_array(col_idxs, "col_idxs", ndim=2)
-        values = as_f64_array(values, "values", ndim=3)
+        values = as_value_array(values, "values", ndim=3)
         max_nnz_row, num_rows = col_idxs.shape
         if values.shape[1:] != (max_nnz_row, num_rows):
             raise DimensionMismatch(
@@ -97,6 +97,11 @@ class BatchEll:
     def values(self) -> np.ndarray:
         """Per-system values, shape ``(num_batch, max_nnz_row, num_rows)``."""
         return self._values
+
+    @property
+    def dtype(self) -> np.dtype:
+        """Value dtype of the stored entries (float32 or float64)."""
+        return self._values.dtype
 
     @property
     def shape(self) -> BatchShape:
@@ -143,14 +148,14 @@ class BatchEll:
     @classmethod
     def from_dense(cls, dense_values: np.ndarray, *, tol: float = 0.0) -> "BatchEll":
         """Build from a dense ``(num_batch, n, m)`` array (union pattern)."""
-        dense_values = as_f64_array(dense_values, "dense_values", ndim=3)
+        dense_values = as_value_array(dense_values, "dense_values", ndim=3)
         num_batch, num_rows, num_cols = dense_values.shape
         mask = np.any(np.abs(dense_values) > tol, axis=0)
         per_row = mask.sum(axis=1)
         max_nnz_row = max(int(per_row.max(initial=0)), 1)
 
         col_idxs = np.full((max_nnz_row, num_rows), PAD_COL, dtype=INDEX_DTYPE)
-        values = np.zeros((num_batch, max_nnz_row, num_rows), dtype=DTYPE)
+        values = np.zeros((num_batch, max_nnz_row, num_rows), dtype=dense_values.dtype)
         # Rank of each stored entry within its row gives its ELL slot.
         rows, cols = np.nonzero(mask)
         starts = np.zeros(num_rows + 1, dtype=np.int64)
@@ -164,7 +169,7 @@ class BatchEll:
 
     def entry_dense(self, batch_index: int) -> np.ndarray:
         """Materialise one batch entry as a dense 2-D array."""
-        out = np.zeros((self.num_rows, self.num_cols), dtype=DTYPE)
+        out = np.zeros((self.num_rows, self.num_cols), dtype=self._values.dtype)
         slot, rows = np.nonzero(self._col_idxs != PAD_COL)
         cols = self._col_idxs[slot, rows]
         out[rows, cols] = self._values[batch_index, slot, rows]
@@ -173,7 +178,7 @@ class BatchEll:
     def diagonal(self) -> np.ndarray:
         """Per-system main diagonals, shape ``(num_batch, min(n, m))``."""
         n = min(self.num_rows, self.num_cols)
-        diag = np.zeros((self.num_batch, n), dtype=DTYPE)
+        diag = np.zeros((self.num_batch, n), dtype=self._values.dtype)
         row_of = np.broadcast_to(
             np.arange(self.num_rows, dtype=INDEX_DTYPE), self._col_idxs.shape
         )
@@ -186,7 +191,17 @@ class BatchEll:
         """Deep copy (shared pattern arrays reused; read-only by contract)."""
         return BatchEll(self.num_cols, self._col_idxs, self._values.copy(), check=False)
 
-    def take_batch(self, indices: np.ndarray) -> "BatchEll":
+    def astype(self, dtype) -> "BatchEll":
+        """Batch with values cast to ``dtype`` (self when already there)."""
+        if self._values.dtype == np.dtype(dtype):
+            return self
+        return BatchEll(
+            self.num_cols, self._col_idxs, self._values.astype(dtype), check=False
+        )
+
+    def take_batch(
+        self, indices: np.ndarray, *, values_out: np.ndarray | None = None
+    ) -> "BatchEll":
         """Gather a sub-batch of systems into a compact batch.
 
         ``indices`` is an integer index array or boolean mask over the batch
@@ -194,14 +209,22 @@ class BatchEll:
         selected systems' (padded) values are gathered, preserving each
         system's values bit-for-bit (see
         :meth:`BatchCsr.take_batch <repro.core.batch_csr.BatchCsr.take_batch>`).
+        ``values_out`` is optional preallocated storage for the gathered
+        values (leading ``len(indices)`` systems used).
         """
-        return BatchEll(
-            self.num_cols, self._col_idxs, self._values[np.asarray(indices)], check=False
-        )
+        indices = np.asarray(indices)
+        if values_out is None:
+            gathered = self._values[indices]
+        else:
+            if indices.dtype == np.bool_:
+                indices = np.flatnonzero(indices)
+            gathered = values_out[: indices.size]
+            np.take(self._values, indices, axis=0, out=gathered)
+        return BatchEll(self.num_cols, self._col_idxs, gathered, check=False)
 
     def scale_values(self, factor: float | np.ndarray) -> "BatchEll":
         """Return a new batch with values scaled per system (or globally)."""
-        factor = np.asarray(factor, dtype=DTYPE)
+        factor = np.asarray(factor, dtype=self._values.dtype)
         if factor.ndim == 1:
             factor = factor[:, None, None]
         return BatchEll(self.num_cols, self._col_idxs, self._values * factor, check=False)
@@ -219,7 +242,7 @@ class BatchEll:
         """
         self._shape.compatible_vector(x, "x")
         if out is None:
-            out = np.zeros((self.num_batch, self.num_rows), dtype=DTYPE)
+            out = np.zeros((self.num_batch, self.num_rows), dtype=self._values.dtype)
         else:
             out[...] = 0.0
         cols = self._gather_cols  # pre-clamped sentinel; value 0 kills it
@@ -243,8 +266,8 @@ class BatchEll:
         ``work`` must not alias ``x`` or ``y``.
         """
         ax = self.apply(x, out=work)
-        alpha = np.asarray(alpha, dtype=DTYPE)
-        beta = np.asarray(beta, dtype=DTYPE)
+        alpha = np.asarray(alpha, dtype=ax.dtype)
+        beta = np.asarray(beta, dtype=y.dtype)
         if alpha.ndim == 1:
             alpha = alpha[:, None]
         if beta.ndim == 1:

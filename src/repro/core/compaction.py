@@ -69,6 +69,14 @@ class BatchCompactor:
         self.enabled = bool(enabled) and threshold is not None
         self._idx: np.ndarray | None = None  # global indices of current rows
         self.num_events = 0
+        # Double-buffered gather scratch: each compaction event writes its
+        # gathered arrays into preallocated slabs via ``np.take(..., out=)``
+        # instead of allocating fresh temporaries.  Two slab sets alternate
+        # because the sources of event N+1 are the outputs of event N — the
+        # gather must never read and write the same slab.
+        self._slabs: tuple[dict, dict] = ({}, {})
+        self._turn = 0
+        self._capacity = 0
 
     # -- state -------------------------------------------------------------
 
@@ -137,16 +145,61 @@ class BatchCompactor:
         self.criterion = sub_criterion
         self.num_events += 1
 
+        store = self._slabs[self._turn]
+        self._turn ^= 1
+        if self._capacity < sel.size:
+            self._capacity = sel.size  # the first event sizes all slabs
+
         new_active = np.ones(sel.size, dtype=bool)
         return (
-            matrix.take_batch(sel),
-            b[sel],
-            x_full[self._idx],
+            self._take_matrix(store, matrix, sel),
+            self._take(store, "b", b, sel),
+            self._take(store, "x", x_full, self._idx),
             sub_precond,
             new_active,
-            tuple(v[sel] for v in vectors),
-            tuple(s[sel] for s in scalars),
+            tuple(
+                self._take(store, f"v{i}", v, sel) for i, v in enumerate(vectors)
+            ),
+            tuple(
+                self._take(store, f"s{i}", s, sel) for i, s in enumerate(scalars)
+            ),
         )
+
+    def _take(self, store: dict, key: str, src: np.ndarray, sel: np.ndarray):
+        """Gather ``src[sel]`` into this event's preallocated slab."""
+        buf = store.get(key)
+        if (
+            buf is None
+            or buf.shape[0] < self._capacity
+            or buf.shape[1:] != src.shape[1:]
+            or buf.dtype != src.dtype
+        ):
+            buf = np.empty((self._capacity,) + src.shape[1:], dtype=src.dtype)
+            store[key] = buf
+        out = buf[: sel.size]
+        np.take(src, sel, axis=0, out=out)
+        return out
+
+    def _take_matrix(self, store: dict, matrix, sel: np.ndarray):
+        """Gather the active systems' matrix values into a slab when possible."""
+        values = getattr(matrix, "values", None)
+        if values is not None:
+            buf = store.get("matrix")
+            if (
+                buf is None
+                or buf.shape[0] < self._capacity
+                or buf.shape[1:] != values.shape[1:]
+                or buf.dtype != values.dtype
+            ):
+                buf = np.empty(
+                    (self._capacity,) + values.shape[1:], dtype=values.dtype
+                )
+                store["matrix"] = buf
+            try:
+                return matrix.take_batch(sel, values_out=buf)
+            except TypeError:
+                pass  # format without values_out support
+        return matrix.take_batch(sel)
 
     def finalize(self, x_full: np.ndarray, x: np.ndarray) -> None:
         """Scatter the compact iterate back into the full solution array."""

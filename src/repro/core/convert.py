@@ -21,7 +21,7 @@ from .batch_csr import BatchCsr
 from .batch_dense import BatchDense
 from .batch_dia import BatchDia
 from .batch_ell import PAD_COL, BatchEll
-from .types import DTYPE, INDEX_DTYPE
+from .types import INDEX_DTYPE
 
 __all__ = [
     "csr_to_ell",
@@ -51,7 +51,7 @@ def csr_to_ell(matrix: BatchCsr) -> BatchEll:
     num_rows = matrix.num_rows
 
     col_idxs = np.full((max_nnz_row, num_rows), PAD_COL, dtype=INDEX_DTYPE)
-    values = np.zeros((matrix.num_batch, max_nnz_row, num_rows), dtype=DTYPE)
+    values = np.zeros((matrix.num_batch, max_nnz_row, num_rows), dtype=matrix.dtype)
 
     rows = np.repeat(np.arange(num_rows, dtype=np.int64), nnz_row)
     slot = np.arange(rows.size, dtype=np.int64) - matrix.row_ptrs[:-1].astype(np.int64)[rows]
@@ -78,7 +78,7 @@ def ell_to_csr(matrix: BatchEll) -> BatchCsr:
 
 def csr_to_dense(matrix: BatchCsr) -> BatchDense:
     """Materialise a CSR batch as dense."""
-    out = np.zeros((matrix.num_batch, matrix.num_rows, matrix.num_cols), dtype=DTYPE)
+    out = np.zeros((matrix.num_batch, matrix.num_rows, matrix.num_cols), dtype=matrix.dtype)
     rows = np.repeat(np.arange(matrix.num_rows, dtype=np.int64), matrix.nnz_per_row())
     out[:, rows, matrix.col_idxs] = matrix.values
     return BatchDense(out)
@@ -86,7 +86,7 @@ def csr_to_dense(matrix: BatchCsr) -> BatchDense:
 
 def ell_to_dense(matrix: BatchEll) -> BatchDense:
     """Materialise an ELL batch as dense."""
-    out = np.zeros((matrix.num_batch, matrix.num_rows, matrix.num_cols), dtype=DTYPE)
+    out = np.zeros((matrix.num_batch, matrix.num_rows, matrix.num_cols), dtype=matrix.dtype)
     slot, rows = np.nonzero(matrix.col_idxs != PAD_COL)
     cols = matrix.col_idxs[slot, rows]
     out[:, rows, cols] = matrix.values[:, slot, rows]
@@ -118,7 +118,7 @@ def csr_to_dia(matrix: BatchCsr) -> BatchDia:
     if offsets.size == 0:
         offsets = np.zeros(1, dtype=np.int64)
     bands = np.zeros(
-        (matrix.num_batch, offsets.size, matrix.num_rows), dtype=DTYPE
+        (matrix.num_batch, offsets.size, matrix.num_rows), dtype=matrix.dtype
     )
     slot = np.searchsorted(offsets, diag_of)
     bands[:, slot, rows] = matrix.values
@@ -168,7 +168,7 @@ def ell_to_dia(matrix: BatchEll) -> BatchDia:
     if offsets.size == 0:
         offsets = np.zeros(1, dtype=np.int64)
     bands = np.zeros(
-        (matrix.num_batch, offsets.size, matrix.num_rows), dtype=DTYPE
+        (matrix.num_batch, offsets.size, matrix.num_rows), dtype=matrix.dtype
     )
     bands[:, np.searchsorted(offsets, diag_of), rows] = matrix.values[:, slot, rows]
     return BatchDia(matrix.num_cols, offsets, bands, check=False)
@@ -181,7 +181,7 @@ def dia_to_ell(matrix: BatchDia) -> BatchEll:
 
 def dia_to_dense(matrix: BatchDia) -> BatchDense:
     """Materialise a DIA batch as dense."""
-    out = np.zeros((matrix.num_batch, matrix.num_rows, matrix.num_cols), dtype=DTYPE)
+    out = np.zeros((matrix.num_batch, matrix.num_rows, matrix.num_cols), dtype=matrix.dtype)
     rows, cols, vals = _dia_entries(matrix)
     out[:, rows, cols] = vals
     return BatchDense(out)

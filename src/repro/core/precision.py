@@ -1,0 +1,127 @@
+"""Precision policies for the batched solver stack.
+
+The reference GPU implementation (Ginkgo's batched solvers) templatizes
+every kernel over value type; the paper's production runs use FP64, but
+because every hot kernel — batched SpMV, the fused BLAS-1 updates, the
+triangular sweeps — is memory-bandwidth bound, halving the bytes per
+value is a near-2x lever on throughput.  This module defines the three
+policies the stack supports and the small amount of metadata each layer
+needs to act on them:
+
+* ``fp64`` — the paper's configuration: float64 storage, compute, and
+  reductions.  The default everywhere; the bit-exact golden results in
+  ``tests/data/golden_solvers_n992.json`` pin this path.
+* ``fp32`` — float32 storage and compute, float32 reductions.  Fastest,
+  but dot products and norms of long vectors lose digits to rounding.
+* ``mixed`` — float32 storage and streaming compute with float64
+  accumulation in dot products and norms (einsum's ``dtype=`` upcast).
+  Keeps the bandwidth win where it matters (vectors and matrix values
+  stream at 4 B/value) while protecting the reductions that drive the
+  convergence monitoring.
+
+A policy never changes *convergence targets*; to recover full double
+accuracy from a low-precision solve, wrap the solver in
+:class:`~repro.core.solvers.refinement.RefinementSolver`, which runs the
+cheap inner solve in ``fp32``/``mixed`` and corrects the fp64 residual
+outside it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "PrecisionPolicy",
+    "FP64",
+    "FP32",
+    "MIXED",
+    "POLICIES",
+    "precision_policy",
+    "policy_for_dtype",
+]
+
+
+@dataclass(frozen=True)
+class PrecisionPolicy:
+    """Storage/accumulation dtype pair identified by a policy name.
+
+    Attributes
+    ----------
+    name:
+        ``"fp64"``, ``"fp32"`` or ``"mixed"``.
+    storage_dtype:
+        Dtype of matrix values and solver workspace vectors (the
+        streamed, bandwidth-bound data).
+    accumulate_dtype:
+        Dtype dot products and norms accumulate in.  Scalars derived
+        from reductions (alpha, beta, rho, residual norms) live in this
+        dtype.
+    """
+
+    name: str
+    storage_dtype: np.dtype
+    accumulate_dtype: np.dtype
+
+    @property
+    def value_bytes(self) -> int:
+        """Bytes per stored value — the GPU model's ``value_bytes``."""
+        return int(np.dtype(self.storage_dtype).itemsize)
+
+    @property
+    def is_double(self) -> bool:
+        """True when storage is full double precision."""
+        return np.dtype(self.storage_dtype) == np.float64
+
+
+FP64 = PrecisionPolicy("fp64", np.dtype(np.float64), np.dtype(np.float64))
+FP32 = PrecisionPolicy("fp32", np.dtype(np.float32), np.dtype(np.float32))
+MIXED = PrecisionPolicy("mixed", np.dtype(np.float32), np.dtype(np.float64))
+
+#: Registry of the supported policies, keyed by name.
+POLICIES = {p.name: p for p in (FP64, FP32, MIXED)}
+
+
+def precision_policy(precision) -> PrecisionPolicy:
+    """Resolve a policy name (or pass a policy through).
+
+    Accepts a :class:`PrecisionPolicy`, one of the names in
+    :data:`POLICIES`, or a numpy dtype/dtype-like (mapped via
+    :func:`policy_for_dtype`).
+    """
+    if isinstance(precision, PrecisionPolicy):
+        return precision
+    if isinstance(precision, str):
+        try:
+            return POLICIES[precision]
+        except KeyError:
+            raise ValueError(
+                f"unknown precision {precision!r}; expected one of "
+                f"{sorted(POLICIES)}"
+            ) from None
+    try:
+        return policy_for_dtype(np.dtype(precision))
+    except TypeError:
+        raise ValueError(
+            f"cannot interpret {precision!r} as a precision policy"
+        ) from None
+
+
+def policy_for_dtype(dtype) -> PrecisionPolicy:
+    """The natural policy for data already held in ``dtype``.
+
+    float64 data runs the fp64 policy; float32 data runs fp32 (pure
+    single — a caller who wants fp64 reductions over fp32 storage asks
+    for ``"mixed"`` explicitly).  Anything else is an error: the stack
+    stores only these two value types.
+    """
+    dt = np.dtype(dtype)
+    if dt == np.float64:
+        return FP64
+    if dt == np.float32:
+        return FP32
+    raise ValueError(
+        f"no precision policy for dtype {dt}; supported value dtypes are "
+        "float32 and float64"
+    )

@@ -150,7 +150,7 @@ class BlockJacobiPreconditioner(BatchPreconditioner):
         nb = self._num_full
 
         # Extract the dense diagonal blocks from the shared CSR pattern.
-        blocks = np.zeros((csr.num_batch, nb, bs, bs), dtype=DTYPE)
+        blocks = np.zeros((csr.num_batch, nb, bs, bs), dtype=csr.dtype)
         rows = np.repeat(np.arange(n, dtype=np.int64), csr.nnz_per_row())
         cols = csr.col_idxs.astype(np.int64)
         in_full = (rows < nb * bs) & (rows // bs == cols // bs)

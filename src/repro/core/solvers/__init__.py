@@ -31,6 +31,7 @@ from .direct_banded import BatchBandedLu, banded_lu_solve
 from .direct_dense import BatchDenseLu, dense_lu_solve
 from .direct_qr import BatchBandedQr, banded_qr_solve
 from .gmres import BatchGmres
+from .refinement import RefinementSolver
 from .richardson import BatchRichardson
 from .tridiag import BatchThomas, BatchTridiag, extract_tridiagonal, thomas_solve
 
@@ -42,6 +43,7 @@ __all__ = [
     "BatchCgs",
     "BatchGmres",
     "BatchRichardson",
+    "RefinementSolver",
     "BatchBandedLu",
     "banded_lu_solve",
     "BatchDenseLu",
@@ -63,13 +65,15 @@ _SOLVERS = {
     "cgs": BatchCgs,
     "gmres": BatchGmres,
     "richardson": BatchRichardson,
+    "refinement": RefinementSolver,
 }
 
 
 def make_solver(name: str, **kwargs):
     """Factory: build an iterative solver by name.
 
-    Accepted names: ``bicgstab``, ``cg``, ``cgs``, ``gmres``, ``richardson``.
+    Accepted names: ``bicgstab``, ``cg``, ``cgs``, ``gmres``, ``richardson``,
+    ``refinement`` (mixed-precision iterative refinement).
     Keyword arguments are forwarded to the solver constructor.
     """
     try:

@@ -19,10 +19,11 @@ from __future__ import annotations
 
 import numpy as np
 
-from ...utils.validation import as_f64_array, check_positive
+from ...utils.validation import as_value_array, check_positive
 from ..batch_dense import batch_norm2
 from ..compaction import BatchCompactor
 from ..logging_ import BatchLogger
+from ..precision import FP64, PrecisionPolicy, policy_for_dtype, precision_policy
 from ..preconditioners import (
     BatchPreconditioner,
     IdentityPreconditioner,
@@ -30,7 +31,7 @@ from ..preconditioners import (
 )
 from ..spmv import residual
 from ..stop import AbsoluteResidual, StoppingCriterion
-from ..types import BatchShape, DimensionMismatch, SolveResult
+from ..types import DTYPE, BatchShape, DimensionMismatch, SolveResult
 from ..workspace import SolverWorkspace
 from .schedule import OpSchedule, OpStats, solver_schedule
 
@@ -90,6 +91,15 @@ class BatchedIterativeSolver:
         either way.  ``None`` disables compaction.
     compact_min_batch:
         Never compact batches at or below this size.
+    precision:
+        Precision policy for the solve: ``"fp64"`` (the default paper
+        configuration), ``"fp32"``, ``"mixed"`` (fp32 storage/compute,
+        fp64 dot/norm accumulation), or a
+        :class:`~repro.core.precision.PrecisionPolicy`.  ``None`` infers
+        the policy from the matrix's value dtype at solve time, so fp64
+        matrices run the unchanged (bit-identical) double path and fp32
+        matrices run pure single.  An explicit policy casts the matrix
+        and right-hand side to its storage dtype on entry.
     """
 
     name = "abstract"
@@ -102,6 +112,7 @@ class BatchedIterativeSolver:
         logger: BatchLogger | None = None,
         compact_threshold: float | None = 0.5,
         compact_min_batch: int = 4,
+        precision: PrecisionPolicy | str | None = None,
     ) -> None:
         if isinstance(preconditioner, str):
             preconditioner = make_preconditioner(preconditioner)
@@ -116,6 +127,9 @@ class BatchedIterativeSolver:
             )
         self.compact_threshold = compact_threshold
         self.compact_min_batch = int(check_positive(compact_min_batch, "compact_min_batch"))
+        self.precision = None if precision is None else precision_policy(precision)
+        #: Policy of the solve in flight (set by :meth:`solve`).
+        self._active_policy: PrecisionPolicy = self.precision or FP64
         self._workspace: SolverWorkspace | None = None
         self._last_compactor: BatchCompactor | None = None
         self.last_op_stats: OpStats | None = None
@@ -181,24 +195,31 @@ class BatchedIterativeSolver:
         """
         shape: BatchShape = matrix.shape
         shape.require_square()
-        b = as_f64_array(b, "b", ndim=2)
+        policy = self._resolve_policy(matrix)
+        self._active_policy = policy
+        if getattr(matrix, "dtype", DTYPE) != policy.storage_dtype:
+            matrix = matrix.astype(policy.storage_dtype)
+        b = as_value_array(b, "b", ndim=2, dtype=policy.storage_dtype)
         shape.compatible_vector(b, "b")
 
         if workspace is not None:
-            if not workspace.matches(shape.num_batch, shape.num_rows):
+            if not workspace.matches(
+                shape.num_batch, shape.num_rows, policy.storage_dtype
+            ):
                 raise DimensionMismatch(
                     f"workspace is sized ({workspace.num_batch}, "
-                    f"{workspace.num_rows}) but the batch needs "
-                    f"({shape.num_batch}, {shape.num_rows})"
+                    f"{workspace.num_rows}, {workspace.dtype}) but the batch "
+                    f"needs ({shape.num_batch}, {shape.num_rows}, "
+                    f"{policy.storage_dtype})"
                 )
             ws = workspace
         else:
-            ws = self._get_workspace(shape.num_batch, shape.num_rows)
+            ws = self._get_workspace(shape.num_batch, shape.num_rows, policy)
         x = ws.vector("x")
         if x0 is None:
             x[...] = 0.0
         else:
-            x0 = as_f64_array(x0, "x0", ndim=2)
+            x0 = as_value_array(x0, "x0", ndim=2, dtype=policy.storage_dtype)
             shape.compatible_vector(x0, "x0")
             x[...] = x0
 
@@ -221,11 +242,24 @@ class BatchedIterativeSolver:
 
     # -- shared helpers ---------------------------------------------------------
 
-    def _get_workspace(self, num_batch: int, num_rows: int) -> SolverWorkspace:
+    def _resolve_policy(self, matrix) -> PrecisionPolicy:
+        """The policy governing one solve: explicit, or matrix-inferred."""
+        if self.precision is not None:
+            return self.precision
+        return policy_for_dtype(getattr(matrix, "dtype", DTYPE))
+
+    def _get_workspace(
+        self, num_batch: int, num_rows: int, policy: PrecisionPolicy
+    ) -> SolverWorkspace:
         """Reuse the cached workspace when dimensions match (zero-alloc path)."""
         ws = self._workspace
-        if ws is None or not ws.matches(num_batch, num_rows):
-            ws = SolverWorkspace(num_batch, num_rows)
+        if ws is None or not ws.matches(num_batch, num_rows, policy.storage_dtype):
+            ws = SolverWorkspace(
+                num_batch,
+                num_rows,
+                dtype=policy.storage_dtype,
+                scalar_dtype=policy.accumulate_dtype,
+            )
             self._workspace = ws
         return ws
 
@@ -259,9 +293,10 @@ class BatchedIterativeSolver:
         initial guess already satisfies the criterion start out frozen with
         an iteration count of zero.
         """
+        acc = self._active_policy.accumulate_dtype
         residual(matrix, x, b, out=r)
-        res_norms = batch_norm2(r)
-        self.criterion.initialize(batch_norm2(b), res_norms)
+        res_norms = batch_norm2(r, dtype=acc)
+        self.criterion.initialize(batch_norm2(b, dtype=acc), res_norms)
         converged = self.criterion.check(res_norms)
         # Iteration count 0 for systems converged on entry (already the
         # logger's initial state); just record their final norms.
@@ -345,6 +380,10 @@ class IterationDriver:
     ) -> None:
         self.solver = solver
         st = SolveState(matrix, b, x, precond)
+        # Reduction (dot/norm) accumulation dtype of the active precision
+        # policy; solver bodies pass it to batch_dot/batch_norm2 so mixed
+        # precision keeps fp64 reductions over fp32 vectors.
+        st.acc_dtype = solver._active_policy.accumulate_dtype
         if vector_names is None:
             schedule = solver.op_schedule()
             vector_names = tuple(
@@ -453,7 +492,7 @@ class IterationDriver:
         self.stats.verify_events += 1
         true_r = st.true_r
         residual(st.matrix, st.x, st.b, out=true_r)
-        true_norms = batch_norm2(true_r)
+        true_norms = batch_norm2(true_r, dtype=st.acc_dtype)
         confirmed = candidates & self.comp.criterion.check(true_norms)
         if np.any(confirmed):
             self.comp.update_norms(self.final_norms, true_norms, confirmed)

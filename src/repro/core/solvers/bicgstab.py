@@ -74,7 +74,7 @@ class BatchBicgstab(BatchedIterativeSolver):
             cont = st.active.copy()
 
             # rho = r_hat . r ; beta = (rho / rho_old) * (alpha / omega)
-            rho = batch_dot(st.r_hat, st.r)
+            rho = batch_dot(st.r_hat, st.r, dtype=st.acc_dtype)
             beta = safe_divide(rho, st.rho_old, cont) * safe_divide(
                 st.alpha, st.omega, cont
             )
@@ -87,13 +87,13 @@ class BatchBicgstab(BatchedIterativeSolver):
             st.matrix.apply(st.p_hat, out=st.v)
 
             # alpha = rho / (r_hat . v)
-            safe_divide(rho, batch_dot(st.r_hat, st.v), cont, out=st.alpha)
+            safe_divide(rho, batch_dot(st.r_hat, st.v, dtype=st.acc_dtype), cont, out=st.alpha)
 
             # s = r - alpha * v
             np.multiply(st.v, st.alpha[:, None], out=st.s)
             np.subtract(st.r, st.s, out=st.s)
 
-            s_norms = batch_norm2(st.s)
+            s_norms = batch_norm2(st.s, dtype=st.acc_dtype)
             # Early exit per system: x += alpha * p_hat, then freeze.
             s_conv = cont & drv.criterion.check(s_norms)
             if np.any(s_conv):
@@ -107,7 +107,8 @@ class BatchBicgstab(BatchedIterativeSolver):
             st.matrix.apply(st.s_hat, out=st.t)
 
             # omega = (t . s) / (t . t)
-            safe_divide(batch_dot(st.t, st.s), batch_dot(st.t, st.t), cont,
+            safe_divide(batch_dot(st.t, st.s, dtype=st.acc_dtype),
+                        batch_dot(st.t, st.t, dtype=st.acc_dtype), cont,
                         out=st.omega)
 
             # x += alpha * p_hat + omega * s_hat   (zero steps when frozen
@@ -122,7 +123,7 @@ class BatchBicgstab(BatchedIterativeSolver):
 
             masked_assign(st.rho_old, rho, cont)
 
-            res_norms = batch_norm2(st.r)
+            res_norms = batch_norm2(st.r, dtype=st.acc_dtype)
             drv.update_norms(res_norms, st.active)
             newly = cont & drv.criterion.check(res_norms)
             if np.any(newly):

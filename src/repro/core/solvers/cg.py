@@ -31,18 +31,20 @@ class BatchCg(BatchedIterativeSolver):
 
         st.precond.apply(st.r, out=st.z)
         st.p[...] = st.z
-        st.register_scalar("rz_old", batch_dot(st.r, st.z))
+        st.register_scalar("rz_old", batch_dot(st.r, st.z, dtype=st.acc_dtype))
 
         def body(st, it):
             st.matrix.apply(st.p, out=st.w)
-            alpha = safe_divide(st.rz_old, batch_dot(st.p, st.w), st.active)
+            alpha = safe_divide(
+                st.rz_old, batch_dot(st.p, st.w, dtype=st.acc_dtype), st.active
+            )
 
             # Frozen systems take zero steps: their alpha is already 0.
             masked_axpy(st.x, alpha, st.p, work=st.work)
             np.multiply(st.w, alpha[:, None], out=st.work)
             np.subtract(st.r, st.work, out=st.r)
 
-            res_norms = batch_norm2(st.r)
+            res_norms = batch_norm2(st.r, dtype=st.acc_dtype)
             drv.update_norms(res_norms, st.active)
             newly = st.active & drv.criterion.check(res_norms)
             if np.any(newly):
@@ -52,7 +54,7 @@ class BatchCg(BatchedIterativeSolver):
                 return STOP
 
             st.precond.apply(st.r, out=st.z)
-            rz_new = batch_dot(st.r, st.z)
+            rz_new = batch_dot(st.r, st.z, dtype=st.acc_dtype)
             beta = safe_divide(rz_new, st.rz_old, st.active)
             st.p *= beta[:, None]
             st.p += st.z

@@ -36,7 +36,7 @@ class BatchCgs(BatchedIterativeSolver):
         masked_assign(st.r_hat, true_r, restarted)
         masked_assign(st.u, true_r, restarted)
         masked_assign(st.p, true_r, restarted)
-        st.rho_old[restarted] = batch_dot(st.r_hat, st.r)[restarted]
+        st.rho_old[restarted] = batch_dot(st.r_hat, st.r, dtype=st.acc_dtype)[restarted]
 
     def _iterate(self, matrix, b, x, precond, ws):
         drv = IterationDriver(self, matrix, b, x, precond, ws)
@@ -45,13 +45,15 @@ class BatchCgs(BatchedIterativeSolver):
         st.u[...] = st.r
         st.p[...] = st.r
 
-        st.register_scalar("rho_old", batch_dot(st.r_hat, st.r))
+        st.register_scalar("rho_old", batch_dot(st.r_hat, st.r, dtype=st.acc_dtype))
 
         def body(st, it):
             # v = A M^-1 p ; alpha = rho / (r_hat . v)
             st.precond.apply(st.p, out=st.work)
             st.matrix.apply(st.work, out=st.v)
-            alpha = safe_divide(st.rho_old, batch_dot(st.r_hat, st.v), st.active)
+            alpha = safe_divide(
+                st.rho_old, batch_dot(st.r_hat, st.v, dtype=st.acc_dtype), st.active
+            )
 
             # q = u - alpha v ; solution update direction u + q
             np.multiply(st.v, alpha[:, None], out=st.q)
@@ -67,7 +69,7 @@ class BatchCgs(BatchedIterativeSolver):
             np.multiply(st.work, alpha[:, None], out=st.scratch)
             np.subtract(st.r, st.scratch, out=st.r)
 
-            res_norms = batch_norm2(st.r)
+            res_norms = batch_norm2(st.r, dtype=st.acc_dtype)
             drv.update_norms(res_norms, st.active)
             newly = st.active & drv.criterion.check(res_norms)
             if np.any(newly):
@@ -83,7 +85,7 @@ class BatchCgs(BatchedIterativeSolver):
                 return STOP
 
             # rho = r_hat . r ; beta = rho / rho_old
-            rho = batch_dot(st.r_hat, st.r)
+            rho = batch_dot(st.r_hat, st.r, dtype=st.acc_dtype)
             beta = safe_divide(rho, st.rho_old, active_now)
 
             # u = r + beta q ; p = u + beta (q + beta p)

@@ -66,29 +66,33 @@ class BatchGmres(BatchedIterativeSolver):
         st.register_scalar("logged", drv.converged.copy())
 
         # Krylov basis and Hessenberg storage (reused across cycles,
-        # reallocated at the compact size after a compaction event).
-        basis = np.zeros((m + 1, nb, n))
-        hess = np.zeros((nb, m + 1, m))  # becomes R after Givens
-        givens_c = np.zeros((nb, m))
-        givens_s = np.zeros((nb, m))
-        g = np.zeros((nb, m + 1))
-        y = np.zeros((nb, m))
+        # reallocated at the compact size after a compaction event).  The
+        # basis streams through SpMVs, so it lives in working precision;
+        # the Hessenberg/Givens recurrences hold reduction results and
+        # stay in the policy's accumulation dtype.
+        work_dt, acc_dt = st.x.dtype, st.acc_dtype
+        basis = np.zeros((m + 1, nb, n), dtype=work_dt)
+        hess = np.zeros((nb, m + 1, m), dtype=acc_dt)  # becomes R after Givens
+        givens_c = np.zeros((nb, m), dtype=acc_dt)
+        givens_s = np.zeros((nb, m), dtype=acc_dt)
+        g = np.zeros((nb, m + 1), dtype=acc_dt)
+        y = np.zeros((nb, m), dtype=acc_dt)
 
         total_it = 0
         while total_it < self.max_iter and np.any(st.active):
             # -- compact at the cycle boundary (no Krylov state carries over)
             if drv.maybe_compact():
                 nb = st.x.shape[0]
-                basis = np.zeros((m + 1, nb, n))
-                hess = np.zeros((nb, m + 1, m))
-                givens_c = np.zeros((nb, m))
-                givens_s = np.zeros((nb, m))
-                g = np.zeros((nb, m + 1))
-                y = np.zeros((nb, m))
+                basis = np.zeros((m + 1, nb, n), dtype=work_dt)
+                hess = np.zeros((nb, m + 1, m), dtype=acc_dt)
+                givens_c = np.zeros((nb, m), dtype=acc_dt)
+                givens_s = np.zeros((nb, m), dtype=acc_dt)
+                g = np.zeros((nb, m + 1), dtype=acc_dt)
+                y = np.zeros((nb, m), dtype=acc_dt)
 
             # -- start a cycle from the true residual ------------------------
             residual(st.matrix, st.x, st.b, out=st.r)
-            beta = batch_norm2(st.r)
+            beta = batch_norm2(st.r, dtype=st.acc_dtype)
             inv_beta = safe_divide(np.ones(nb), beta, st.active)
             basis[0] = st.r * inv_beta[:, None]
             hess[...] = 0.0
@@ -108,10 +112,10 @@ class BatchGmres(BatchedIterativeSolver):
 
                 # Modified Gram-Schmidt against v_0..v_j.
                 for i in range(j + 1):
-                    hij = batch_dot(w, basis[i])
+                    hij = batch_dot(w, basis[i], dtype=st.acc_dtype)
                     hess[:, i, j] = hij
                     w -= hij[:, None] * basis[i]
-                hlast = batch_norm2(w)
+                hlast = batch_norm2(w, dtype=st.acc_dtype)
                 hess[:, j + 1, j] = hlast
                 inv_h = safe_divide(np.ones(nb), hlast, cycle_active)
                 w *= inv_h[:, None]
@@ -177,7 +181,7 @@ class BatchGmres(BatchedIterativeSolver):
 
             # -- recompute true residuals at the restart boundary ------------
             residual(st.matrix, st.x, st.b, out=st.r)
-            res_norms = batch_norm2(st.r)
+            res_norms = batch_norm2(st.r, dtype=st.acc_dtype)
             drv.update_norms(res_norms, st.active)
             true_conv = st.active & drv.criterion.check(res_norms)
             if np.any(true_conv):

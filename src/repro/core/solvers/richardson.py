@@ -46,7 +46,7 @@ class BatchRichardson(BatchedIterativeSolver):
 
             residual(st.matrix, st.x, st.b, out=st.r)
 
-            res_norms = batch_norm2(st.r)
+            res_norms = batch_norm2(st.r, dtype=st.acc_dtype)
             drv.update_norms(res_norms, st.active)
             newly = st.active & drv.criterion.check(res_norms)
             if np.any(newly):

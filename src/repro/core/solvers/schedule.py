@@ -390,8 +390,8 @@ class CountingMatrix:
         if name == "take_batch":
             counts = self.counts
 
-            def take_batch(indices):
-                return CountingMatrix(attr(indices), counts)
+            def take_batch(indices, **kwargs):
+                return CountingMatrix(attr(indices, **kwargs), counts)
 
             return take_batch
         return attr
@@ -444,13 +444,13 @@ def count_batch_ops(counts: OpCounts):
     """
     from . import base, bicgstab, cg, cgs, gmres, richardson
 
-    def counting_dot(a, b):
+    def counting_dot(a, b, out=None, *, dtype=None):
         counts.dots += 1
-        return _batch_dot(a, b)
+        return _batch_dot(a, b, out, dtype=dtype)
 
-    def counting_norm2(a):
+    def counting_norm2(a, out=None, *, dtype=None):
         counts.norms += 1
-        return _batch_norm2(a)
+        return _batch_norm2(a, out, dtype=dtype)
 
     saved = []
     for mod in (base, bicgstab, cg, cgs, gmres, richardson):

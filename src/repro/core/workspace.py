@@ -171,23 +171,37 @@ class SolverWorkspace:
     the inner Picard solves allocate nothing.
     """
 
-    def __init__(self, num_batch: int, num_rows: int) -> None:
+    def __init__(
+        self,
+        num_batch: int,
+        num_rows: int,
+        *,
+        dtype=DTYPE,
+        scalar_dtype=None,
+    ) -> None:
         if num_batch < 1 or num_rows < 1:
             raise ValueError("workspace dimensions must be positive")
         self.num_batch = int(num_batch)
         self.num_rows = int(num_rows)
+        #: Working precision of the batch vectors (the streamed data).
+        self.dtype = np.dtype(dtype)
+        #: Dtype of per-system scalars — reduction results live here, so
+        #: the mixed policy passes float64 while vectors stay float32.
+        self.scalar_dtype = np.dtype(scalar_dtype if scalar_dtype is not None else dtype)
         self._vectors: dict[str, np.ndarray] = {}
         self._scalars: dict[str, np.ndarray] = {}
 
-    def matches(self, num_batch: int, num_rows: int) -> bool:
-        """Whether this workspace fits a batch of the given dimensions."""
+    def matches(self, num_batch: int, num_rows: int, dtype=None) -> bool:
+        """Whether this workspace fits the given dimensions (and dtype)."""
+        if dtype is not None and self.dtype != np.dtype(dtype):
+            return False
         return self.num_batch == num_batch and self.num_rows == num_rows
 
     def vector(self, name: str, *, zero: bool = False) -> np.ndarray:
         """A named ``(num_batch, num_rows)`` vector; optionally zeroed."""
         arr = self._vectors.get(name)
         if arr is None:
-            arr = np.zeros((self.num_batch, self.num_rows), dtype=DTYPE)
+            arr = np.zeros((self.num_batch, self.num_rows), dtype=self.dtype)
             self._vectors[name] = arr
         elif zero:
             arr[...] = 0.0
@@ -197,7 +211,7 @@ class SolverWorkspace:
         """A named ``(num_batch,)`` per-system scalar array."""
         arr = self._scalars.get(name)
         if arr is None:
-            arr = np.zeros(self.num_batch, dtype=DTYPE)
+            arr = np.zeros(self.num_batch, dtype=self.scalar_dtype)
             self._scalars[name] = arr
         if fill is not None:
             arr[...] = fill

@@ -88,14 +88,23 @@ class KernelWork:
         )
 
 
-def spmv_work(num_rows: int, nnz: int, fmt: str, *, stored_nnz: int | None = None) -> KernelWork:
+def spmv_work(
+    num_rows: int,
+    nnz: int,
+    fmt: str,
+    *,
+    stored_nnz: int | None = None,
+    value_bytes: int = VALUE_BYTES,
+) -> KernelWork:
     """One batched SpMV, per system.
 
     ``stored_nnz`` covers ELL/DIA padding (stored entries can exceed the
     true non-zero count); defaults to ``nnz``.  The DIA kernel reads no
     column indices at all — its index metadata is one offset per stored
     diagonal (``stored / num_rows`` of them) — but pays the padded-fringe
-    flops and value traffic like ELL pays its padding.
+    flops and value traffic like ELL pays its padding.  ``value_bytes``
+    is the size of one stored value (8 for fp64, 4 for fp32): value and
+    vector traffic scale with it, index metadata does not.
     """
     stored = nnz if stored_nnz is None else stored_nnz
     if fmt == "csr":
@@ -112,27 +121,35 @@ def spmv_work(num_rows: int, nnz: int, fmt: str, *, stored_nnz: int | None = Non
         raise ValueError(f"unknown format {fmt!r}")
     return KernelWork(
         flops=2.0 * stored,
-        matrix_bytes=stored * VALUE_BYTES,
+        matrix_bytes=stored * value_bytes,
         index_bytes=index_bytes,
         # Input vector is gathered (cache-friendly) and output written once;
         # both usually live in shared memory for the fused solver — the
         # caller zeroes vector_bytes when that is the case.
-        vector_bytes=2.0 * num_rows * VALUE_BYTES,
+        vector_bytes=2.0 * num_rows * value_bytes,
     )
 
 
 def storage_for_solver(
-    solver: str, num_rows: int, shared_budget_bytes: int, *, gmres_restart: int = 30
+    solver: str,
+    num_rows: int,
+    shared_budget_bytes: int,
+    *,
+    gmres_restart: int = 30,
+    value_bytes: int = VALUE_BYTES,
 ) -> StorageConfig:
     """Shared-memory placement for a solver's auxiliary vectors (§IV-D).
 
     ``gmres_restart`` sizes the GMRES Krylov basis (``m + 1`` SpMV-operand
-    vectors); it is ignored by the fixed-footprint solvers.
+    vectors); it is ignored by the fixed-footprint solvers.  fp32 vectors
+    (``value_bytes=4``) are half the size, so the same shared-memory
+    budget holds twice as many — the placement genuinely changes with the
+    precision policy.
     """
     return plan_storage(
         solver_vector_specs(solver, gmres_restart=gmres_restart),
         num_rows, shared_budget_bytes,
-        value_bytes=VALUE_BYTES,
+        value_bytes=value_bytes,
     )
 
 
@@ -145,6 +162,7 @@ def iteration_work(
     *,
     stored_nnz: int | None = None,
     preconditioner: str = "jacobi",
+    value_bytes: int = VALUE_BYTES,
 ) -> KernelWork:
     """One solver iteration, per system, derived from its declared schedule.
 
@@ -156,7 +174,7 @@ def iteration_work(
     flat per-solver constant.
     """
     n = num_rows
-    spmv = spmv_work(n, nnz, fmt, stored_nnz=stored_nnz)
+    spmv = spmv_work(n, nnz, fmt, stored_nnz=stored_nnz, value_bytes=value_bytes)
 
     spmvs = schedule.amortized("spmvs")
     precond_applies = schedule.amortized("precond_applies")
@@ -172,7 +190,7 @@ def iteration_work(
     )
 
     vector_traffic = (
-        schedule.spilled_touches(storage.global_vectors) * n * VALUE_BYTES
+        schedule.spilled_touches(storage.global_vectors) * n * value_bytes
     )
 
     return KernelWork(
@@ -191,6 +209,7 @@ def setup_work(
     fmt: str,
     *,
     stored_nnz: int | None = None,
+    value_bytes: int = VALUE_BYTES,
 ) -> KernelWork:
     """Per-system one-time work of a solver's priming phase.
 
@@ -198,7 +217,7 @@ def setup_work(
     first Krylov quantities) plus the read-b / write-x RHS traffic.
     """
     n = num_rows
-    spmv = spmv_work(n, nnz, fmt, stored_nnz=stored_nnz)
+    spmv = spmv_work(n, nnz, fmt, stored_nnz=stored_nnz, value_bytes=value_bytes)
     vec_flops = (
         (schedule.setup_dots + schedule.setup_norms + schedule.setup_axpys)
         * 2.0 * n
@@ -209,7 +228,7 @@ def setup_work(
         matrix_bytes=schedule.setup_spmvs * spmv.matrix_bytes,
         index_bytes=schedule.setup_spmvs * spmv.index_bytes,
         vector_bytes=0.0,
-        rhs_bytes=2.0 * num_rows * VALUE_BYTES,  # read b, write x
+        rhs_bytes=2.0 * num_rows * value_bytes,  # read b, write x
     )
 
 

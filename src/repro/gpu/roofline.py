@@ -97,24 +97,29 @@ def solver_roofline_report(
     mean_iterations: float = 20.0,
     kl: int | None = None,
     ku: int | None = None,
+    value_bytes: int = 8,
 ) -> list[RooflinePoint]:
     """Roofline points for the kernels of the paper's comparison.
 
     Covers the batched SpMV (all three sparse formats), one BiCGSTAB
     iteration (with the §IV-D placement and cache model applied, so the
     intensity reflects *post-cache* traffic), the banded QR, and the dense
-    LU.
+    LU.  ``value_bytes`` sets the stored-value size for the SpMV and
+    solver-iteration points (4 at fp32 roughly doubles their arithmetic
+    intensity); the direct baselines stay fp64.
     """
     points = []
     for fmt, stored in (("csr", None), ("ell", stored_nnz), ("dia", stored_nnz)):
-        w = spmv_work(num_rows, nnz, fmt, stored_nnz=stored)
+        w = spmv_work(num_rows, nnz, fmt, stored_nnz=stored, value_bytes=value_bytes)
         points.append(analyze_kernel(hw, f"spmv-{fmt}", w))
 
-    storage = storage_for_solver("bicgstab", num_rows, hw.shared_budget_per_block())
+    storage = storage_for_solver(
+        "bicgstab", num_rows, hw.shared_budget_per_block(), value_bytes=value_bytes
+    )
     occ = compute_occupancy(hw, max(storage.shared_bytes_used, 1), num_rows)
     iter_work = iteration_work(
         solver_schedule("bicgstab"), num_rows, nnz, "ell", storage,
-        stored_nnz=stored_nnz,
+        stored_nnz=stored_nnz, value_bytes=value_bytes,
     )
     stored = nnz if stored_nnz is None else stored_nnz
     mem = estimate_memory(
@@ -123,9 +128,9 @@ def solver_roofline_report(
         blocks_per_cu=occ.blocks_per_cu,
         active_systems=occ.total_slots,
         reuse_passes=max(mean_iterations, 1.0),
-        unique_matrix_bytes=stored * 8,
+        unique_matrix_bytes=stored * value_bytes,
         unique_index_bytes=stored * 4,
-        unique_rhs_bytes=num_rows * 8,
+        unique_rhs_bytes=num_rows * value_bytes,
     )
     effective = mem.hbm_bytes + mem.l2_bytes / hw.l2_bw_multiplier
     points.append(

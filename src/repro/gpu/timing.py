@@ -130,6 +130,7 @@ def estimate_iterative_solve(
     solver: str = "bicgstab",
     preconditioner: str = "jacobi",
     gmres_restart: int = 30,
+    value_bytes: int = 8,
 ) -> GpuSolveEstimate:
     """Model the fused batched iterative solve.
 
@@ -155,24 +156,35 @@ def estimate_iterative_solve(
     gmres_restart:
         GMRES restart length ``m``; sizes the Krylov basis for the §IV-D
         placement and the per-iteration dot count.  Ignored otherwise.
+    value_bytes:
+        Bytes per stored value: 8 for fp64 (default), 4 for the fp32 and
+        mixed precision policies.  Halves every value-traffic stream,
+        doubles the vector capacity of the shared-memory budget, and
+        doubles the usable compute throughput (GPU fp32 peak is twice the
+        fp64 peak).
     """
     iterations = np.asarray(iterations, dtype=np.float64)
     num_batch = iterations.shape[0]
 
     schedule = solver_schedule(solver, gmres_restart=gmres_restart)
     storage = storage_for_solver(
-        solver, num_rows, hw.shared_budget_per_block(), gmres_restart=gmres_restart
+        solver, num_rows, hw.shared_budget_per_block(),
+        gmres_restart=gmres_restart, value_bytes=value_bytes,
     )
     occ = compute_occupancy(hw, storage.shared_bytes_used, num_rows)
 
     iter_work = iteration_work(
         schedule, num_rows, nnz, fmt, storage,
         stored_nnz=stored_nnz, preconditioner=preconditioner,
+        value_bytes=value_bytes,
     )
-    setup = setup_work(schedule, num_rows, nnz, fmt, stored_nnz=stored_nnz)
+    setup = setup_work(
+        schedule, num_rows, nnz, fmt, stored_nnz=stored_nnz,
+        value_bytes=value_bytes,
+    )
 
     stored = nnz if stored_nnz is None else stored_nnz
-    value_b = 8
+    value_b = value_bytes
     uniq_mat = stored * value_b
     # Unique shared index metadata is format-specific (DIA: offsets only);
     # take it from the per-SpMV work model rather than re-deriving it here.
@@ -194,7 +206,13 @@ def estimate_iterative_solve(
     u_dense = ell_spmv_utilization(num_rows, hw.warp_size)
     util = solver_utilization(fmt, num_rows, nnz_row, hw)
 
-    t_iter = _slot_times(hw, iter_work, occ, mem, u_spmv, u_dense)
+    # GPU fp32 peak throughput is double the fp64 peak; expressed here as
+    # a compute-efficiency scale so the roofline's compute leg tracks the
+    # precision policy alongside the halved value traffic.
+    eff = hw.fp64_efficiency * (8.0 / value_bytes)
+    t_iter = _slot_times(
+        hw, iter_work, occ, mem, u_spmv, u_dense, compute_efficiency=eff
+    )
     mem_setup = estimate_memory(
         hw, setup,
         shared_bytes_per_block=storage.shared_bytes_used,
@@ -202,7 +220,9 @@ def estimate_iterative_solve(
         active_systems=active,
         reuse_passes=1.0,
     )
-    t_setup = _slot_times(hw, setup, occ, mem_setup, u_spmv, u_dense)
+    t_setup = _slot_times(
+        hw, setup, occ, mem_setup, u_spmv, u_dense, compute_efficiency=eff
+    )
 
     block_times = t_setup + iterations * t_iter
     launch = hw.launch_overhead_us * 1e-6
@@ -229,9 +249,10 @@ def estimate_spmv(
     *,
     stored_nnz: int | None = None,
     repeats: int = 1,
+    value_bytes: int = 8,
 ) -> GpuSolveEstimate:
     """Model the standalone batched SpMV kernel (Fig. 7)."""
-    work = spmv_work(num_rows, nnz, fmt, stored_nnz=stored_nnz)
+    work = spmv_work(num_rows, nnz, fmt, stored_nnz=stored_nnz, value_bytes=value_bytes)
     occ = compute_occupancy(hw, 0, num_rows)
     mem = estimate_memory(
         hw, work,
@@ -242,7 +263,10 @@ def estimate_spmv(
     )
     nnz_row = max(1, round(nnz / max(num_rows, 1)))
     util = spmv_utilization(fmt, num_rows, nnz_row, hw)
-    t_block = _slot_times(hw, work, occ, mem, util, util) * repeats
+    t_block = _slot_times(
+        hw, work, occ, mem, util, util,
+        compute_efficiency=hw.fp64_efficiency * (8.0 / value_bytes),
+    ) * repeats
     block_times = np.full(num_batch, t_block)
     launch = hw.launch_overhead_us * 1e-6 * repeats
     total = launch + schedule_blocks(hw, occ, block_times)

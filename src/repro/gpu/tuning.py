@@ -262,7 +262,12 @@ def tune_batched_solver(
 
 
 def tune_for_matrix(
-    hw: GpuSpec, matrix, *, solver: str = "bicgstab", gmres_restart: int = 30
+    hw: GpuSpec,
+    matrix,
+    *,
+    solver: str = "bicgstab",
+    gmres_restart: int = 30,
+    value_bytes: int | None = None,
 ) -> TuningDecision:
     """Tune directly from a batch matrix (inspects its pattern).
 
@@ -270,10 +275,16 @@ def tune_for_matrix(
     structure drive the format choice — the XGC pattern (9 constant
     diagonals, ~4% fringe padding) selects the gather-free DIA format
     here, where the dimension-only entry point would still pick ELL.
+    ``value_bytes`` defaults to the matrix's own value size, so an fp32
+    batch gets the fp32 shared-memory plan (twice the vector capacity)
+    without any extra argument.
     """
     import numpy as np
 
     from ..core.convert import to_format
+
+    if value_bytes is None:
+        value_bytes = int(np.dtype(getattr(matrix, "dtype", np.float64)).itemsize)
 
     csr = to_format(matrix, "csr")
     nnz_row = csr.nnz_per_row()
@@ -289,6 +300,6 @@ def tune_for_matrix(
     dia_padding = 1.0 - csr.nnz_per_system / (num_diags * csr.num_rows)
     return tune_batched_solver(
         hw, csr.num_rows, lo, hi, solver=solver, gmres_restart=gmres_restart,
-        padding_fraction=padding, num_diags=num_diags,
-        dia_padding_fraction=dia_padding,
+        value_bytes=value_bytes, padding_fraction=padding,
+        num_diags=num_diags, dia_padding_fraction=dia_padding,
     )

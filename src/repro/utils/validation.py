@@ -18,6 +18,7 @@ __all__ = [
     "check_non_negative",
     "check_in",
     "as_f64_array",
+    "as_value_array",
     "as_index_array",
     "check_shape",
     "check_same_shape",
@@ -66,6 +67,36 @@ def as_f64_array(data, name: str, *, ndim: int | None = None) -> np.ndarray:
     contiguity requirements, so passing well-formed arrays is free.
     """
     arr = np.ascontiguousarray(data, dtype=np.float64)
+    if ndim is not None and arr.ndim != ndim:
+        raise ValueError(f"{name} must have {ndim} dimensions, got {arr.ndim}")
+    return arr
+
+
+def as_value_array(
+    data, name: str, *, ndim: int | None = None, dtype=None
+) -> np.ndarray:
+    """Convert ``data`` to a C-contiguous float32 or float64 value array.
+
+    The dtype-preserving sibling of :func:`as_f64_array`: float32 input
+    stays float32 and float64 stays float64, so the batch formats can
+    carry either working precision.  Any other input dtype (ints, python
+    lists, float16, ...) is normalised to float64, the library default.
+    Pass ``dtype`` to force a specific value dtype instead.
+
+    A view is returned whenever the input already satisfies the dtype
+    and contiguity requirements, so passing well-formed arrays is free.
+    """
+    if dtype is None:
+        src = np.asarray(data)
+        dtype = src.dtype if src.dtype in (np.float32, np.float64) else np.float64
+        data = src
+    else:
+        dtype = np.dtype(dtype)
+        if dtype not in (np.float32, np.float64):
+            raise ValueError(
+                f"{name} dtype must be float32 or float64, got {dtype}"
+            )
+    arr = np.ascontiguousarray(data, dtype=dtype)
     if ndim is not None and arr.ndim != ndim:
         raise ValueError(f"{name} must have {ndim} dimensions, got {arr.ndim}")
     return arr

@@ -36,8 +36,7 @@ import numpy as np
 
 from ..core.batch_csr import BatchCsr
 from ..core.batch_dia import BatchDia
-from ..core.batch_ell import BatchEll
-from ..core.convert import csr_to_ell
+from ..core.batch_ell import PAD_COL, BatchEll
 from ..core.types import DTYPE, INDEX_DTYPE
 from .collision import CollisionCoefficients
 from .grid import VelocityGrid
@@ -67,9 +66,11 @@ class CollisionStencil:
         self._build_east_faces()
         self._build_north_faces()
         self._finalize()
-        # DIA-layout pattern and templates, built lazily on the first
-        # assemble_dia() call (once per grid, like the CSR pattern).
+        # DIA- and ELL-layout patterns and templates, built lazily on the
+        # first assemble_dia() / assemble_ell() call (once per grid, like
+        # the CSR pattern).
         self._dia_templates: np.ndarray | None = None
+        self._ell_templates: np.ndarray | None = None
 
     # -- public API -------------------------------------------------------
 
@@ -98,34 +99,95 @@ class CollisionStencil:
         c[:, 4] = dt_nu * coeffs.u_par  # drift, -u part (sign folded in)
         return c
 
-    def assemble(self, coeffs: CollisionCoefficients) -> BatchCsr:
+    def assemble(
+        self, coeffs: CollisionCoefficients, *, out: np.ndarray | None = None
+    ) -> BatchCsr:
         """Assemble the batched backward-Euler matrix ``M = I - dt*C_lin``.
 
         One GEMM: the per-batch coefficient matrix against the geometric
-        template matrix.
+        template matrix.  ``out`` is an optional preallocated
+        ``(num_batch, nnz)`` values buffer (a Picard driver reuses one
+        across all its assemblies).
         """
-        values = self._coefficient_matrix(coeffs) @ self.templates
+        if out is None:
+            out = np.empty((coeffs.num_batch, self.nnz), dtype=DTYPE)
+        np.matmul(self._coefficient_matrix(coeffs), self.templates, out=out)
         return BatchCsr(
-            self.num_rows, self.row_ptrs, self.col_idxs, values, check=False
+            self.num_rows, self.row_ptrs, self.col_idxs, out, check=False
         )
 
-    def assemble_ell(self, coeffs: CollisionCoefficients) -> BatchEll:
-        """Assemble directly into the ELL format (same values, ELL layout)."""
-        return csr_to_ell(self.assemble(coeffs))
+    def assemble_ell(
+        self, coeffs: CollisionCoefficients, *, out: np.ndarray | None = None
+    ) -> BatchEll:
+        """Assemble directly into the ELL format (same values, ELL layout).
 
-    def assemble_dia(self, coeffs: CollisionCoefficients) -> BatchDia:
+        The union pattern is mapped onto ELL slots once per grid
+        (:meth:`_ensure_ell_templates`); after that every assembly is a
+        single GEMM landing straight in the padded slot layout — no CSR
+        intermediate, no per-iteration index manipulation — and every
+        assembled :class:`BatchEll` shares one ``ell_col_idxs`` array.
+        ``out`` is an optional ``(num_batch, max_nnz_row, num_rows)``
+        values buffer.
+        """
+        ell_templates = self._ensure_ell_templates()
+        shape = (coeffs.num_batch, self.ell_col_idxs.shape[0], self.num_rows)
+        if out is None:
+            out = np.empty(shape, dtype=DTYPE)
+        np.matmul(
+            self._coefficient_matrix(coeffs),
+            ell_templates,
+            out=out.reshape(coeffs.num_batch, -1),
+        )
+        return BatchEll(self.num_rows, self.ell_col_idxs, out, check=False)
+
+    def assemble_dia(
+        self, coeffs: CollisionCoefficients, *, out: np.ndarray | None = None
+    ) -> BatchDia:
         """Assemble directly into the gather-free DIA format.
 
         The union pattern is mapped onto diagonal offsets once per grid
         (:meth:`_ensure_dia_templates`); after that every assembly is the
         same single GEMM as :meth:`assemble`, with the values landing in
         band layout — zero index manipulation per Picard iteration.
+        ``out`` is an optional ``(num_batch, num_diags, num_rows)``
+        values buffer.
         """
         dia_templates = self._ensure_dia_templates()
-        values = (self._coefficient_matrix(coeffs) @ dia_templates).reshape(
-            coeffs.num_batch, self.dia_offsets.size, self.num_rows
+        shape = (coeffs.num_batch, self.dia_offsets.size, self.num_rows)
+        if out is None:
+            out = np.empty(shape, dtype=DTYPE)
+        np.matmul(
+            self._coefficient_matrix(coeffs),
+            dia_templates,
+            out=out.reshape(coeffs.num_batch, -1),
         )
-        return BatchDia(self.num_rows, self.dia_offsets, values, check=False)
+        return BatchDia(self.num_rows, self.dia_offsets, out, check=False)
+
+    def _ensure_ell_templates(self) -> np.ndarray:
+        """Scatter the union-pattern templates into ELL slot layout (once).
+
+        Produces ``ell_col_idxs`` (shared, int32, padded with
+        :data:`~repro.core.batch_ell.PAD_COL`) and a
+        ``(5, max_nnz_row * num_rows)`` template matrix whose GEMM output
+        *is* the padded ELL values array; padded slots stay zero in every
+        template, so the GEMM writes the exact 0.0 the format requires.
+        """
+        if self._ell_templates is None:
+            n = self.num_rows
+            per_row = self.nnz_per_row()
+            max_nnz = max(int(per_row.max(initial=0)), 1)
+            rows = np.repeat(np.arange(n, dtype=np.int64), per_row)
+            slot = (
+                np.arange(self.nnz, dtype=np.int64)
+                - self.row_ptrs[rows].astype(np.int64)
+            )
+            col_idxs = np.full((max_nnz, n), PAD_COL, dtype=INDEX_DTYPE)
+            col_idxs[slot, rows] = self.col_idxs
+            self.ell_col_idxs = col_idxs
+            scattered = np.zeros((len(_TEMPLATES), max_nnz, n), dtype=DTYPE)
+            scattered[:, slot, rows] = self.templates
+            self._ell_templates = scattered.reshape(len(_TEMPLATES), -1)
+        return self._ell_templates
 
     def _ensure_dia_templates(self) -> np.ndarray:
         """Scatter the union-pattern templates into DIA band layout (once).

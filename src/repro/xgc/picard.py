@@ -25,8 +25,8 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..core.logging_ import BatchLogger
-from ..core.solvers import BatchBicgstab
-from ..core.stop import AbsoluteResidual
+from ..core.solvers import BatchBicgstab, RefinementSolver
+from ..core.stop import AbsoluteResidual, RelativeResidual
 from ..core.workspace import SolverWorkspace
 from ..utils.validation import check_in, check_positive
 from .assembly import CollisionStencil
@@ -76,6 +76,14 @@ class PicardOptions:
         solver gathers the still-active systems into a compact sub-batch.
         Especially effective with warm starts, where late Picard solves
         start mostly converged.  ``None`` disables compaction.
+    precision:
+        Precision of the inner linear solves: ``"fp64"`` (paper default,
+        bit-identical to earlier releases), or ``"fp32"`` / ``"mixed"``,
+        which run the inner solver in single precision wrapped in
+        fp64 iterative refinement
+        (:class:`~repro.core.solvers.refinement.RefinementSolver`) so the
+        refined solutions still meet ``linear_tol`` in double precision —
+        the conservation checks are unaffected.
     """
 
     num_iterations: int = 5
@@ -87,12 +95,14 @@ class PicardOptions:
     picard_tol: float = 0.0
     conservation_fix: bool = True
     compact_threshold: float | None = 0.5
+    precision: str = "fp64"
 
     def __post_init__(self) -> None:
         check_positive(self.num_iterations, "num_iterations")
         check_positive(self.linear_tol, "linear_tol")
         check_positive(self.max_linear_iter, "max_linear_iter")
         check_in(self.matrix_format, ("ell", "csr", "dia"), "matrix_format")
+        check_in(self.precision, ("fp64", "fp32", "mixed"), "precision")
         if self.compact_threshold is not None and not 0.0 < self.compact_threshold <= 1.0:
             raise ValueError(
                 f"compact_threshold must lie in (0, 1] or be None, "
@@ -175,18 +185,38 @@ class PicardStepper:
         self.kurtosis_gamma = float(kurtosis_gamma)
         self.options = options or PicardOptions()
         self.stencil = stencil or CollisionStencil(grid)
-        self._solver = BatchBicgstab(
-            preconditioner=self.options.preconditioner,
-            criterion=AbsoluteResidual(self.options.linear_tol),
-            max_iter=self.options.max_linear_iter,
-            logger=BatchLogger(),
-            compact_threshold=self.options.compact_threshold,
-        )
+        if self.options.precision == "fp64":
+            self._solver = BatchBicgstab(
+                preconditioner=self.options.preconditioner,
+                criterion=AbsoluteResidual(self.options.linear_tol),
+                max_iter=self.options.max_linear_iter,
+                logger=BatchLogger(),
+                compact_threshold=self.options.compact_threshold,
+            )
+        else:
+            # Low-precision inner sweeps + fp64 outer correction: the
+            # refined solution meets linear_tol against the true double
+            # residual, so conservation behaves as in the fp64 run.
+            inner = BatchBicgstab(
+                preconditioner=self.options.preconditioner,
+                criterion=RelativeResidual(1e-4),
+                max_iter=self.options.max_linear_iter,
+                logger=BatchLogger(),
+                compact_threshold=self.options.compact_threshold,
+                precision=self.options.precision,
+            )
+            self._solver = RefinementSolver(
+                inner,
+                criterion=AbsoluteResidual(self.options.linear_tol),
+            )
         # One arena for all inner solves: the five solves of each Picard
         # loop — and every loop of every time step — reuse these batch
         # vectors, so the hot path performs no allocations after the first
         # solve.
         self._workspace = SolverWorkspace(self.num_batch, grid.num_cells)
+        # Per-format assembly values buffer: every re-assembly of the
+        # Picard loop writes its GEMM output into the same array.
+        self._assembly_out: np.ndarray | None = None
 
     @property
     def num_batch(self) -> int:
@@ -201,10 +231,16 @@ class PicardStepper:
             eta=self.eta, kurtosis_gamma=self.kurtosis_gamma,
         )
         if self.options.matrix_format == "ell":
-            return self.stencil.assemble_ell(coeffs)
-        if self.options.matrix_format == "dia":
-            return self.stencil.assemble_dia(coeffs)
-        return self.stencil.assemble(coeffs)
+            matrix = self.stencil.assemble_ell(coeffs, out=self._assembly_out)
+        elif self.options.matrix_format == "dia":
+            matrix = self.stencil.assemble_dia(coeffs, out=self._assembly_out)
+        else:
+            matrix = self.stencil.assemble(coeffs, out=self._assembly_out)
+        # The stencil pattern is shared by reference across assemblies, and
+        # from the second Picard iteration on the GEMM lands in this same
+        # values array — re-assembly allocates nothing.
+        self._assembly_out = matrix.values
+        return matrix
 
     def step(self, f_n: np.ndarray, dt: float) -> PicardStepResult:
         """Advance the batch one backward-Euler step of size ``dt``."""

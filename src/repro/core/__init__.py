@@ -41,6 +41,14 @@ from .convert import (
     ell_to_dia,
     to_format,
 )
+from .faults import (
+    HealthOptions,
+    SolverHealth,
+    derive_health,
+    health_counts,
+    summarize_health,
+    worst_health,
+)
 from .logging_ import BatchLogger
 from .precision import (
     FP32,
@@ -69,6 +77,8 @@ from .solvers import (
     BatchCgs,
     BatchGmres,
     BatchRichardson,
+    EscalationReport,
+    EscalationSolver,
     RefinementSolver,
     MonolithicBlockSolver,
     assemble_block_diagonal,
@@ -150,6 +160,8 @@ __all__ = [
     "BatchGmres",
     "BatchRichardson",
     "RefinementSolver",
+    "EscalationSolver",
+    "EscalationReport",
     "BatchBandedLu",
     "BatchBandedQr",
     "BatchDenseLu",
@@ -179,6 +191,13 @@ __all__ = [
     "CombinedCriterion",
     "make_criterion",
     "BatchLogger",
+    # health / robustness
+    "SolverHealth",
+    "HealthOptions",
+    "health_counts",
+    "worst_health",
+    "summarize_health",
+    "derive_health",
     # precision
     "PrecisionPolicy",
     "precision_policy",

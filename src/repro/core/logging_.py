@@ -27,6 +27,7 @@ class BatchLogger:
     def __init__(self, record_history: bool = False) -> None:
         self.record_history = bool(record_history)
         self._iterations: np.ndarray | None = None
+        self._halted: np.ndarray | None = None
         self._res_norms: np.ndarray | None = None
         self._history: list[np.ndarray] | None = [] if record_history else None
         self._num_batch: int | None = None
@@ -37,6 +38,7 @@ class BatchLogger:
         """Reset state for a batch of ``num_batch`` systems."""
         self._num_batch = num_batch
         self._iterations = np.zeros(num_batch, dtype=np.int64)
+        self._halted = np.zeros(num_batch, dtype=bool)
         self._res_norms = np.full(num_batch, np.inf)
         if self.record_history is True:
             self._history = []
@@ -81,11 +83,27 @@ class BatchLogger:
         if self._history is not None:
             self._history.append(res_norms.copy())
 
-    def finalize(self, res_norms: np.ndarray, unconverged: np.ndarray, max_iter: int) -> None:
-        """Record final state for systems that never converged."""
+    def log_halted(self, indices: np.ndarray, trips: int) -> None:
+        """Record systems deactivated *without* converging (health guards).
+
+        ``trips`` is the number of loop trips the systems actually ran —
+        a system that breaks down at entry bills 0 iterations, not
+        ``max_iter``.  :meth:`finalize` will not overwrite these counts.
+        """
         if self._iterations is None:
             raise RuntimeError("logger used before initialize()")
-        self._iterations[unconverged] = max_iter
+        self._iterations[indices] = trips
+        self._halted[indices] = True
+
+    def finalize(self, res_norms: np.ndarray, unconverged: np.ndarray, max_iter: int) -> None:
+        """Record final state for systems that never converged.
+
+        Systems halted early by the health guards keep the trip count
+        recorded at deactivation instead of being billed ``max_iter``.
+        """
+        if self._iterations is None:
+            raise RuntimeError("logger used before initialize()")
+        self._iterations[unconverged & ~self._halted] = max_iter
         self._res_norms[unconverged] = res_norms[unconverged]
 
     # -- user-facing API -----------------------------------------------------

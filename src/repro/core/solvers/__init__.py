@@ -30,6 +30,7 @@ from .cgs import BatchCgs
 from .direct_banded import BatchBandedLu, banded_lu_solve
 from .direct_dense import BatchDenseLu, dense_lu_solve
 from .direct_qr import BatchBandedQr, banded_qr_solve
+from .escalation import EscalationReport, EscalationSolver
 from .gmres import BatchGmres
 from .refinement import RefinementSolver
 from .richardson import BatchRichardson
@@ -44,6 +45,8 @@ __all__ = [
     "BatchGmres",
     "BatchRichardson",
     "RefinementSolver",
+    "EscalationSolver",
+    "EscalationReport",
     "BatchBandedLu",
     "banded_lu_solve",
     "BatchDenseLu",
@@ -66,6 +69,7 @@ _SOLVERS = {
     "gmres": BatchGmres,
     "richardson": BatchRichardson,
     "refinement": RefinementSolver,
+    "escalation": EscalationSolver,
 }
 
 
@@ -73,7 +77,8 @@ def make_solver(name: str, **kwargs):
     """Factory: build an iterative solver by name.
 
     Accepted names: ``bicgstab``, ``cg``, ``cgs``, ``gmres``, ``richardson``,
-    ``refinement`` (mixed-precision iterative refinement).
+    ``refinement`` (mixed-precision iterative refinement), ``escalation``
+    (health-driven re-solve ladder).
     Keyword arguments are forwarded to the solver constructor.
     """
     try:

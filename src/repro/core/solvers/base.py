@@ -22,6 +22,7 @@ import numpy as np
 from ...utils.validation import as_value_array, check_positive
 from ..batch_dense import batch_norm2
 from ..compaction import BatchCompactor
+from ..faults import HEALTH_DTYPE, HealthOptions, SolverHealth
 from ..logging_ import BatchLogger
 from ..precision import FP64, PrecisionPolicy, policy_for_dtype, precision_policy
 from ..preconditioners import (
@@ -54,10 +55,14 @@ def safe_divide(
     """Per-system division that returns 0 where inactive or singular.
 
     ``num / den`` is evaluated only for systems that are still active *and*
-    have a non-zero denominator; everywhere else the result is 0, which
-    turns the subsequent vector updates into no-ops for frozen systems.
+    have a finite non-zero denominator; everywhere else the result is 0,
+    which turns the subsequent vector updates into no-ops for frozen
+    systems.  The finiteness guard matters: ``NaN != 0.0`` is True, so
+    without it a NaN denominator (e.g. from an Inf-poisoned SpMV) would
+    slip past the zero check and silently propagate NaN into every
+    downstream update of that system.
     """
-    ok = active & (den != 0.0)
+    ok = active & (den != 0.0) & np.isfinite(den)
     if out is None:
         out = np.zeros_like(num)
     else:
@@ -100,6 +105,13 @@ class BatchedIterativeSolver:
         matrices run the unchanged (bit-identical) double path and fp32
         matrices run pure single.  An explicit policy casts the matrix
         and right-hand side to its storage dtype on entry.
+    health:
+        :class:`~repro.core.faults.HealthOptions` tuning the driver's
+        per-system health guards (non-finite / divergence / stagnation
+        detection); defaults to :class:`HealthOptions()
+        <repro.core.faults.HealthOptions>`.  Detected-unhealthy systems
+        are frozen with a :class:`~repro.core.faults.SolverHealth` code in
+        ``SolveResult.health`` instead of silently burning iterations.
     """
 
     name = "abstract"
@@ -113,6 +125,7 @@ class BatchedIterativeSolver:
         compact_threshold: float | None = 0.5,
         compact_min_batch: int = 4,
         precision: PrecisionPolicy | str | None = None,
+        health: HealthOptions | None = None,
     ) -> None:
         if isinstance(preconditioner, str):
             preconditioner = make_preconditioner(preconditioner)
@@ -128,11 +141,15 @@ class BatchedIterativeSolver:
         self.compact_threshold = compact_threshold
         self.compact_min_batch = int(check_positive(compact_min_batch, "compact_min_batch"))
         self.precision = None if precision is None else precision_policy(precision)
+        self.health_options = health or HealthOptions()
         #: Policy of the solve in flight (set by :meth:`solve`).
         self._active_policy: PrecisionPolicy = self.precision or FP64
         self._workspace: SolverWorkspace | None = None
         self._last_compactor: BatchCompactor | None = None
         self.last_op_stats: OpStats | None = None
+        #: Per-system :class:`~repro.core.faults.SolverHealth` codes of the
+        #: most recent solve (set by the iteration driver).
+        self.last_health: np.ndarray | None = None
 
     # -- subclass hooks ------------------------------------------------------
 
@@ -225,6 +242,7 @@ class BatchedIterativeSolver:
 
         precond = self.preconditioner.generate(matrix)
         self.logger.initialize(shape.num_batch)
+        self.last_health = None
 
         res_norms, converged = self._iterate(matrix, b, x, precond, ws)
 
@@ -237,6 +255,9 @@ class BatchedIterativeSolver:
             format=getattr(matrix, "format_name", "unknown"),
             residual_history=(
                 list(self.logger.history) if self.logger.record_history else None
+            ),
+            health=(
+                None if self.last_health is None else self.last_health.copy()
             ),
         )
 
@@ -407,6 +428,20 @@ class IterationDriver:
         self.stats = OpStats()
         solver.last_op_stats = self.stats
         self._x_full = x
+        # Per-system health bookkeeping (full batch size, like `converged`).
+        # Guards fire only on norms recorded through update_norms, so a
+        # healthy solve's arithmetic is untouched — the guards read norms
+        # the solver already computed.
+        nb_full = converged.size
+        self.health = np.full(nb_full, SolverHealth.ITERATING, dtype=HEALTH_DTYPE)
+        self._best_norms = np.where(
+            np.isfinite(res_norms), res_norms, np.inf
+        ).astype(np.float64)
+        self._improve_trip = np.zeros(nb_full, dtype=np.int64)
+        solver.last_health = self.health
+        # Classify systems that are already poisoned at entry (NaN/Inf in
+        # the initial residual) before the loop body ever touches them.
+        self._check_health(res_norms, st.active)
 
     @property
     def criterion(self):
@@ -458,13 +493,71 @@ class IterationDriver:
         """Scatter back the compact iterate and close out the logger."""
         self.comp.finalize(self._x_full, self.state.x)
         self.logger.finalize(self.final_norms, ~self.converged, self.solver.max_iter)
+        self.health[self.converged] = SolverHealth.CONVERGED
         return self.final_norms, self.converged
 
     # -- per-trip helpers -----------------------------------------------------
 
     def update_norms(self, norms: np.ndarray, mask: np.ndarray) -> None:
-        """Record current residual norms into the full-size bookkeeping."""
+        """Record current residual norms into the full-size bookkeeping.
+
+        Also runs the vectorised health guards on the recorded norms:
+        non-finite, diverged, and stagnated systems are flagged in
+        :attr:`health` and deactivated so they stop iterating (their last
+        recorded norms stay in ``final_norms``).
+        """
         self.comp.update_norms(self.final_norms, norms, mask)
+        self._check_health(norms, mask)
+
+    def _check_health(self, norms: np.ndarray, mask: np.ndarray) -> None:
+        """Vectorised NaN/Inf, divergence, and stagnation guards."""
+        opts = self.solver.health_options
+        if not opts.enabled or not np.any(mask):
+            return
+        vals = norms[mask]
+        idx = self.comp.global_indices(mask)
+        code = np.zeros(vals.shape, dtype=HEALTH_DTYPE)
+
+        bad = ~np.isfinite(vals)
+        code[bad] = SolverHealth.NON_FINITE
+
+        diverged = ~bad & (
+            vals > opts.divergence_factor * self.initial_norms[idx]
+        )
+        code[diverged] = SolverHealth.DIVERGED
+        bad |= diverged
+
+        if opts.stagnation_window:
+            trip = self.stats.trips
+            best = self._best_norms[idx]
+            improved = vals < (1.0 - opts.stagnation_rtol) * best
+            self._best_norms[idx] = np.minimum(best, np.where(bad, best, vals))
+            self._improve_trip[idx[improved]] = trip
+            stalled = ~bad & (trip - self._improve_trip[idx] >= opts.stagnation_window)
+            code[stalled] = SolverHealth.STAGNATED
+            bad |= stalled
+
+        if np.any(bad):
+            self.health[idx[bad]] = code[bad]
+            self.logger.log_halted(idx[bad], self.stats.trips)
+            bad_local = np.zeros(mask.shape, dtype=bool)
+            bad_local[mask] = bad
+            self.state.active &= ~bad_local
+
+    def flag_unhealthy(self, local_mask: np.ndarray, state: SolverHealth) -> None:
+        """Record a solver-detected breakdown and freeze the systems.
+
+        Solver bodies call this the moment a defining recurrence scalar
+        (``rho``, the ``alpha`` denominator, ``omega``) is exactly zero or
+        non-finite for an active system — before the poisoned value can
+        propagate through the vector updates.
+        """
+        if not self.solver.health_options.enabled or not np.any(local_mask):
+            return
+        idx = self.comp.global_indices(local_mask)
+        self.health[idx] = state
+        self.logger.log_halted(idx, self.stats.trips)
+        self.state.active &= ~local_mask
 
     def log_history(self) -> None:
         self.logger.log_history(self.final_norms)

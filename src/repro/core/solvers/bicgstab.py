@@ -40,6 +40,7 @@ import numpy as np
 
 from ..batch_dense import batch_dot, batch_norm2
 from ..blas import fused_update, masked_assign, masked_axpy, masked_fill
+from ..faults import SolverHealth
 from .base import STOP, BatchedIterativeSolver, IterationDriver, safe_divide
 
 __all__ = ["BatchBicgstab"]
@@ -75,6 +76,16 @@ class BatchBicgstab(BatchedIterativeSolver):
 
             # rho = r_hat . r ; beta = (rho / rho_old) * (alpha / omega)
             rho = batch_dot(st.r_hat, st.r, dtype=st.acc_dtype)
+            # rho = 0 (exact underflow or serendipitous r_hat-orthogonality)
+            # or non-finite is the BiCG primary breakdown: the recurrence
+            # cannot continue, so the system freezes with a health code
+            # instead of silently no-op'ing to max_iter.
+            broken = cont & ((rho == 0.0) | ~np.isfinite(rho))
+            if np.any(broken):
+                drv.flag_unhealthy(broken, SolverHealth.BREAKDOWN_RHO)
+                cont &= ~broken
+                if not np.any(st.active):
+                    return STOP
             beta = safe_divide(rho, st.rho_old, cont) * safe_divide(
                 st.alpha, st.omega, cont
             )
@@ -86,8 +97,16 @@ class BatchBicgstab(BatchedIterativeSolver):
             st.precond.apply(st.p, out=st.p_hat)
             st.matrix.apply(st.p_hat, out=st.v)
 
-            # alpha = rho / (r_hat . v)
-            safe_divide(rho, batch_dot(st.r_hat, st.v, dtype=st.acc_dtype), cont, out=st.alpha)
+            # alpha = rho / (r_hat . v); a zero or non-finite denominator
+            # with rho != 0 is the second BiCG breakdown (r_hat ⟂ A p).
+            alpha_den = batch_dot(st.r_hat, st.v, dtype=st.acc_dtype)
+            broken = cont & ((alpha_den == 0.0) | ~np.isfinite(alpha_den))
+            if np.any(broken):
+                drv.flag_unhealthy(broken, SolverHealth.BREAKDOWN_RHO)
+                cont &= ~broken
+                if not np.any(st.active):
+                    return STOP
+            safe_divide(rho, alpha_den, cont, out=st.alpha)
 
             # s = r - alpha * v
             np.multiply(st.v, st.alpha[:, None], out=st.s)
@@ -106,10 +125,20 @@ class BatchBicgstab(BatchedIterativeSolver):
             st.precond.apply(st.s, out=st.s_hat)
             st.matrix.apply(st.s_hat, out=st.t)
 
-            # omega = (t . s) / (t . t)
-            safe_divide(batch_dot(st.t, st.s, dtype=st.acc_dtype),
-                        batch_dot(st.t, st.t, dtype=st.acc_dtype), cont,
-                        out=st.omega)
+            # omega = (t . s) / (t . t); a vanishing or non-finite
+            # stabiliser means the next beta divides by omega = 0 — the
+            # omega-family breakdown.
+            ts = batch_dot(st.t, st.s, dtype=st.acc_dtype)
+            tt = batch_dot(st.t, st.t, dtype=st.acc_dtype)
+            broken = cont & (
+                (ts == 0.0) | (tt == 0.0) | ~np.isfinite(ts) | ~np.isfinite(tt)
+            )
+            if np.any(broken):
+                drv.flag_unhealthy(broken, SolverHealth.BREAKDOWN_OMEGA)
+                cont &= ~broken
+                if not np.any(st.active):
+                    return STOP
+            safe_divide(ts, tt, cont, out=st.omega)
 
             # x += alpha * p_hat + omega * s_hat   (zero steps when frozen
             # or restarted)

@@ -15,6 +15,7 @@ import numpy as np
 
 from ..batch_dense import batch_dot, batch_norm2
 from ..blas import masked_assign, masked_axpy
+from ..faults import SolverHealth
 from .base import STOP, BatchedIterativeSolver, IterationDriver, safe_divide
 
 __all__ = ["BatchCg"]
@@ -35,9 +36,16 @@ class BatchCg(BatchedIterativeSolver):
 
         def body(st, it):
             st.matrix.apply(st.p, out=st.w)
-            alpha = safe_divide(
-                st.rz_old, batch_dot(st.p, st.w, dtype=st.acc_dtype), st.active
-            )
+            # p . A p = 0 (or NaN) with an unconverged residual is the CG
+            # breakdown — the search direction carries no curvature
+            # information (indefinite or poisoned operator).
+            pw = batch_dot(st.p, st.w, dtype=st.acc_dtype)
+            broken = st.active & ((pw == 0.0) | ~np.isfinite(pw))
+            if np.any(broken):
+                drv.flag_unhealthy(broken, SolverHealth.BREAKDOWN_RHO)
+                if not np.any(st.active):
+                    return STOP
+            alpha = safe_divide(st.rz_old, pw, st.active)
 
             # Frozen systems take zero steps: their alpha is already 0.
             masked_axpy(st.x, alpha, st.p, work=st.work)
@@ -55,6 +63,11 @@ class BatchCg(BatchedIterativeSolver):
 
             st.precond.apply(st.r, out=st.z)
             rz_new = batch_dot(st.r, st.z, dtype=st.acc_dtype)
+            broken = st.active & ((rz_new == 0.0) | ~np.isfinite(rz_new))
+            if np.any(broken):
+                drv.flag_unhealthy(broken, SolverHealth.BREAKDOWN_RHO)
+                if not np.any(st.active):
+                    return STOP
             beta = safe_divide(rz_new, st.rz_old, st.active)
             st.p *= beta[:, None]
             st.p += st.z

@@ -19,6 +19,7 @@ import numpy as np
 
 from ..batch_dense import batch_dot, batch_norm2
 from ..blas import masked_assign, masked_axpy
+from ..faults import SolverHealth
 from .base import STOP, BatchedIterativeSolver, IterationDriver, safe_divide
 
 __all__ = ["BatchCgs"]
@@ -51,9 +52,19 @@ class BatchCgs(BatchedIterativeSolver):
             # v = A M^-1 p ; alpha = rho / (r_hat . v)
             st.precond.apply(st.p, out=st.work)
             st.matrix.apply(st.work, out=st.v)
-            alpha = safe_divide(
-                st.rho_old, batch_dot(st.r_hat, st.v, dtype=st.acc_dtype), st.active
+            # BiCG-family breakdown guards: a zero/non-finite rho carried
+            # from the previous trip, or a zero/non-finite alpha
+            # denominator, ends the recurrence for that system.
+            alpha_den = batch_dot(st.r_hat, st.v, dtype=st.acc_dtype)
+            broken = st.active & (
+                (st.rho_old == 0.0) | ~np.isfinite(st.rho_old)
+                | (alpha_den == 0.0) | ~np.isfinite(alpha_den)
             )
+            if np.any(broken):
+                drv.flag_unhealthy(broken, SolverHealth.BREAKDOWN_RHO)
+                if not np.any(st.active):
+                    return STOP
+            alpha = safe_divide(st.rho_old, alpha_den, st.active)
 
             # q = u - alpha v ; solution update direction u + q
             np.multiply(st.v, alpha[:, None], out=st.q)

@@ -26,6 +26,7 @@ import numpy as np
 
 from ...utils.validation import check_positive
 from ..batch_dense import batch_dot, batch_norm2
+from ..faults import SolverHealth
 from ..spmv import residual
 from .base import BatchedIterativeSolver, IterationDriver, safe_divide
 from .schedule import solver_schedule
@@ -93,6 +94,14 @@ class BatchGmres(BatchedIterativeSolver):
             # -- start a cycle from the true residual ------------------------
             residual(st.matrix, st.x, st.b, out=st.r)
             beta = batch_norm2(st.r, dtype=st.acc_dtype)
+            # A poisoned system (NaN/Inf residual) cannot seed a Krylov
+            # basis; freeze it with a health code before the cycle starts.
+            poisoned = st.active & ~np.isfinite(beta)
+            if np.any(poisoned):
+                drv.update_norms(beta, poisoned)
+                drv.flag_unhealthy(poisoned, SolverHealth.NON_FINITE)
+                if not np.any(st.active):
+                    break
             inv_beta = safe_divide(np.ones(nb), beta, st.active)
             basis[0] = st.r * inv_beta[:, None]
             hess[...] = 0.0

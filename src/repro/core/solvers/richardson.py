@@ -6,6 +6,12 @@ a smoke-test solver, as a smoother, and as the cheapest point in the
 solver-composability space the Ginkgo design exposes.  Like every iterative
 solver here it runs masked updates through :mod:`repro.core.blas` and
 compacts the batch once most systems have converged.
+
+Breakdown audit: Richardson has no recurrence scalars (no ``rho`` /
+``omega``), so the only degradation modes are divergence (relaxation too
+aggressive for the spectrum), stagnation (spectral radius ~= 1), and
+NaN/Inf operands — all three are caught by the iteration driver's
+vectorised health guards on the recorded residual norms.
 """
 
 from __future__ import annotations

@@ -122,6 +122,11 @@ class SolveResult:
         Optional list of per-iteration residual-norm snapshots
         (each ``(num_batch,)``), populated when a convergence logger with
         history recording is attached.
+    health:
+        Optional per-system :class:`~repro.core.faults.SolverHealth` codes,
+        shape ``(num_batch,)`` int8 — the breakdown taxonomy filled in by
+        the iteration driver's health guards.  ``None`` for solvers without
+        driver-level monitoring.
     """
 
     x: np.ndarray
@@ -131,6 +136,7 @@ class SolveResult:
     solver: str = ""
     format: str = ""
     residual_history: Optional[list] = field(default=None, repr=False)
+    health: Optional[np.ndarray] = None
 
     @property
     def num_batch(self) -> int:

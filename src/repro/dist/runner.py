@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..core.faults import HEALTH_DTYPE, SolverHealth, health_counts
 from ..gpu.hardware import GpuSpec, V100
 from ..gpu.timing import estimate_iterative_solve
 from ..xgc.picard import PicardStepper
@@ -46,12 +47,17 @@ class RankResult:
         ``(picard_iters, rank_batch)`` iteration counts.
     modelled_time_s:
         Modelled wall-clock of the rank's solves on the target GPU.
+    health:
+        Per-system worst :class:`~repro.core.faults.SolverHealth` the
+        rank's Picard loop observed (``np.int8`` codes), or ``None`` for
+        steppers that do not report health.
     """
 
     rank: int
     f_new: np.ndarray
     linear_iterations: np.ndarray
     modelled_time_s: float
+    health: np.ndarray | None = None
 
 
 @dataclass
@@ -81,6 +87,32 @@ class DistributedRun:
         """Updated distributions reassembled into batch order."""
         return self.partition.gather([r.f_new for r in self.rank_results])
 
+    def gather_health(self) -> np.ndarray:
+        """Per-system health reassembled into batch order (CONVERGED for
+        ranks that reported none)."""
+        slices = []
+        for r in self.rank_results:
+            if r.health is not None:
+                slices.append(np.asarray(r.health, dtype=HEALTH_DTYPE))
+            else:
+                slices.append(
+                    np.full(r.f_new.shape[0], SolverHealth.CONVERGED, HEALTH_DTYPE)
+                )
+        return self.partition.gather(slices)
+
+    def health_counts(self) -> dict:
+        """Worst-health histogram across all ranks (the MPI-reduce analogue:
+        each rank reduces locally, the counts merge here)."""
+        return health_counts(self.gather_health())
+
+    @property
+    def worst_health(self) -> int:
+        """Single worst health code across the whole run."""
+        gathered = self.gather_health()
+        if gathered.size == 0:
+            return int(SolverHealth.CONVERGED)
+        return int(gathered.max())
+
 
 def _rank_task(stepper_factory, idx, f_slice, dt):
     """One rank's work, shippable to a worker process.
@@ -91,7 +123,12 @@ def _rank_task(stepper_factory, idx, f_slice, dt):
     """
     stepper: PicardStepper = stepper_factory(idx)
     result = stepper.step(f_slice, dt)
-    return result.f_new, result.linear_iterations, stepper.options.matrix_format
+    return (
+        result.f_new,
+        result.linear_iterations,
+        stepper.options.matrix_format,
+        result.health,
+    )
 
 
 def _run_ranks_parallel(stepper_factory, jobs, f0, dt, max_workers):
@@ -178,13 +215,14 @@ def run_distributed(
     for rank, idx in tasks:
         if idx.size == 0:
             run.rank_results.append(
-                RankResult(rank, f0[:0], np.zeros((0, 0)), 0.0)
+                RankResult(rank, f0[:0], np.zeros((0, 0)), 0.0,
+                           np.zeros(0, dtype=HEALTH_DTYPE))
             )
             continue
         if rank in outputs:
-            f_new, iters_arr, matrix_format = outputs[rank]
+            f_new, iters_arr, matrix_format, health = outputs[rank]
         else:
-            f_new, iters_arr, matrix_format = _rank_task(
+            f_new, iters_arr, matrix_format, health = _rank_task(
                 stepper_factory, idx, f0[idx], dt
             )
         t = 0.0
@@ -194,5 +232,5 @@ def run_distributed(
                 stored_nnz=stored_nnz,
             )
             t += est.total_time_s
-        run.rank_results.append(RankResult(rank, f_new, iters_arr, t))
+        run.rank_results.append(RankResult(rank, f_new, iters_arr, t, health))
     return run

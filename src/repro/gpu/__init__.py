@@ -15,6 +15,7 @@ from .kernel import (
     banded_lu_work,
     banded_qr_work,
     dense_lu_work,
+    escalation_work,
     iteration_work,
     setup_work,
     spmv_work,
@@ -61,6 +62,7 @@ __all__ = [
     "banded_lu_work",
     "banded_qr_work",
     "dense_lu_work",
+    "escalation_work",
     "storage_for_solver",
     "MemoryEstimate",
     "estimate_memory",

@@ -30,6 +30,7 @@ __all__ = [
     "setup_work",
     "banded_lu_work",
     "banded_qr_work",
+    "escalation_work",
     "storage_for_solver",
 ]
 
@@ -230,6 +231,70 @@ def setup_work(
         vector_bytes=0.0,
         rhs_bytes=2.0 * num_rows * value_bytes,  # read b, write x
     )
+
+
+def escalation_work(
+    num_rows: int,
+    nnz: int,
+    fmt: str,
+    rungs,
+    *,
+    stored_nnz: int | None = None,
+    shared_budget_bytes: int = 0,
+    preconditioner: str = "jacobi",
+    value_bytes: int = VALUE_BYTES,
+    gmres_restart: int = 30,
+    kl: int | None = None,
+    ku: int | None = None,
+) -> KernelWork:
+    """Aggregate re-solve work of an escalation ladder, *whole batch*.
+
+    ``rungs`` is the
+    :meth:`~repro.core.solvers.escalation.EscalationReport.rung_billing`
+    output — ``(solver_name, total_iterations, num_systems)`` per attempted
+    rung.  Each iterative rung is billed through the same
+    :class:`~repro.core.solvers.schedule.OpSchedule` machinery as a primary
+    solve: one :func:`setup_work` per attempted system plus
+    :func:`iteration_work` per recorded iteration.  ``"refinement"`` bills
+    at the BiCGSTAB schedule (its inner sweeps) and ``"direct"`` /
+    ``"banded-lu"`` at :func:`banded_lu_work` per system with bandwidths
+    ``kl`` / ``ku`` (default ``isqrt(num_rows)``, the paper's ~n^(1/2)
+    collision-stencil band).
+
+    Unlike the per-system counters above this returns **batch totals** —
+    escalation sub-batches differ per rung, so per-system numbers would
+    average over different denominators.  ``shared_budget_bytes`` defaults
+    to 0 (every auxiliary vector spilled to HBM), a conservative ceiling;
+    pass the hardware's ``shared_budget_per_block()`` to reproduce the
+    fused-kernel placement.
+    """
+    band = int(max(1, round(num_rows ** 0.5)))
+    kl = band if kl is None else kl
+    ku = band if ku is None else ku
+    total = KernelWork(flops=0.0)
+    for solver_name, total_iterations, num_systems in rungs:
+        if num_systems <= 0:
+            continue
+        if solver_name in ("direct", "banded-lu"):
+            total = total + banded_lu_work(num_rows, kl, ku).scaled(num_systems)
+            continue
+        schedule_name = "bicgstab" if solver_name == "refinement" else solver_name
+        schedule = solver_schedule(schedule_name, gmres_restart=gmres_restart)
+        storage = storage_for_solver(
+            schedule_name, num_rows, shared_budget_bytes,
+            gmres_restart=gmres_restart, value_bytes=value_bytes,
+        )
+        per_iter = iteration_work(
+            schedule, num_rows, nnz, fmt, storage,
+            stored_nnz=stored_nnz, preconditioner=preconditioner,
+            value_bytes=value_bytes,
+        )
+        setup = setup_work(
+            schedule, num_rows, nnz, fmt,
+            stored_nnz=stored_nnz, value_bytes=value_bytes,
+        )
+        total = total + setup.scaled(num_systems) + per_iter.scaled(total_iterations)
+    return total
 
 
 def banded_lu_work(num_rows: int, kl: int, ku: int) -> KernelWork:

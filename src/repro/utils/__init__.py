@@ -23,6 +23,8 @@ __all__ = [
     "Reordering",
     "rcm_reordering",
     "apply_reordering",
+    "FaultSpec",
+    "FaultInjector",
 ]
 
 _LOCATIONS = {
@@ -30,6 +32,8 @@ _LOCATIONS = {
     "Bandwidths": "banded",
     "csr_to_banded": "banded",
     "detect_bandwidths": "banded",
+    "FaultSpec": "fault_injection",
+    "FaultInjector": "fault_injection",
     "SpectrumSummary": "eigen",
     "batch_eigenvalues": "eigen",
     "condition_number": "eigen",

@@ -24,8 +24,9 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..core.faults import derive_health, worst_health
 from ..core.logging_ import BatchLogger
-from ..core.solvers import BatchBicgstab, RefinementSolver
+from ..core.solvers import BatchBicgstab, EscalationSolver, RefinementSolver
 from ..core.stop import AbsoluteResidual, RelativeResidual
 from ..core.workspace import SolverWorkspace
 from ..utils.validation import check_in, check_positive
@@ -84,6 +85,20 @@ class PicardOptions:
         (:class:`~repro.core.solvers.refinement.RefinementSolver`) so the
         refined solutions still meet ``linear_tol`` in double precision —
         the conservation checks are unaffected.
+    escalation:
+        Wrap the inner solver in an
+        :class:`~repro.core.solvers.escalation.EscalationSolver`: systems
+        the primary solve leaves unhealthy (breakdown, NaN, divergence,
+        stagnation) are gathered and re-solved up the
+        GMRES → fp64 refinement → banded-direct ladder, all to the same
+        ``linear_tol``.  Healthy systems run the exact same instruction
+        stream as the non-escalating path and stay bit-identical.
+    fault_injector:
+        Optional :class:`~repro.utils.fault_injection.FaultInjector`
+        applied to every assembled matrix / right-hand side / warm start
+        of the Picard loop — the deterministic rehearsal hook for the
+        escalation path.  The injector corrupts *copies*; the assembly
+        buffers stay pristine.
     """
 
     num_iterations: int = 5
@@ -96,6 +111,8 @@ class PicardOptions:
     conservation_fix: bool = True
     compact_threshold: float | None = 0.5
     precision: str = "fp64"
+    escalation: bool = False
+    fault_injector: object | None = None
 
     def __post_init__(self) -> None:
         check_positive(self.num_iterations, "num_iterations")
@@ -129,6 +146,11 @@ class PicardStepResult:
         Per-system mask: every inner solve converged.
     conservation:
         Moment-drift report between ``f^n`` and ``f^{n+1}``.
+    health:
+        Per-system worst :class:`~repro.core.faults.SolverHealth` observed
+        across the Picard loop's linear solves (``np.int8`` codes).  With
+        escalation enabled a rescued system reads CONVERGED here — the
+        ladder is part of the solve.
     """
 
     f_new: np.ndarray
@@ -136,6 +158,7 @@ class PicardStepResult:
     picard_updates: list = field(default_factory=list)
     converged: np.ndarray = None
     conservation: ConservationReport = None
+    health: np.ndarray = None
 
     @property
     def total_linear_iterations(self) -> np.ndarray:
@@ -209,6 +232,17 @@ class PicardStepper:
                 inner,
                 criterion=AbsoluteResidual(self.options.linear_tol),
             )
+        if self.options.escalation:
+            # Primary rung is the solver built above — healthy batches run
+            # its exact instruction stream; only unhealthy systems pay for
+            # the ladder.
+            self._solver = EscalationSolver(
+                ladder=(self._solver, "gmres", "refinement", "direct"),
+                preconditioner=self.options.preconditioner,
+                criterion=AbsoluteResidual(self.options.linear_tol),
+                max_iter=self.options.max_linear_iter,
+                compact_threshold=self.options.compact_threshold,
+            )
         # One arena for all inner solves: the five solves of each Picard
         # loop — and every loop of every time step — reuse these batch
         # vectors, so the hot path performs no allocations after the first
@@ -257,12 +291,27 @@ class PicardStepper:
         iters_per_picard: list[np.ndarray] = []
         updates: list[float] = []
         converged = np.ones(self.num_batch, dtype=bool)
+        health = None
+        injector = self.options.fault_injector
 
         for _ in range(self.options.num_iterations):
             matrix = self.assemble(f_k, dt)
+            b = f_n
             x0 = f_k if self.options.warm_start else None
-            res = self._solver.solve(matrix, f_n, x0=x0, workspace=self._workspace)
+            if injector is not None:
+                # Corruption happens on copies; self._assembly_out (the
+                # reusable GEMM target) keeps the clean values.
+                matrix = injector.corrupt_matrix(matrix)
+                b = injector.corrupt_rhs(b)
+                x0 = injector.corrupt_guess(x0)
+            res = self._solver.solve(matrix, b, x0=x0, workspace=self._workspace)
             converged &= res.converged
+            step_health = (
+                res.health
+                if res.health is not None
+                else derive_health(res.converged, res.residual_norms)
+            )
+            health = step_health if health is None else worst_health(health, step_health)
             iters_per_picard.append(res.iterations)
 
             update = np.linalg.norm(res.x - f_k, axis=1) / rhs_scale
@@ -280,6 +329,7 @@ class PicardStepper:
             picard_updates=updates,
             converged=converged,
             conservation=check_conservation(self.grid, f_n, f_k),
+            health=health,
         )
 
     def run(self, f0: np.ndarray, dt: float, num_steps: int) -> tuple[np.ndarray, list]:

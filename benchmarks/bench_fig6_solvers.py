@@ -162,12 +162,12 @@ def main(argv=None) -> int:
 
     print(f"Solver schedule conformance, n={matrix.num_rows} XGC stencil, "
           f"{matrix.num_batch} systems:")
-    print(f"  {'solver':>10} {'spmvs':>7} {'precond':>8} {'dots':>7} "
+    print(f"  {'solver':>19} {'spmvs':>7} {'precond':>8} {'dots':>7} "
           f"{'norms':>7} {'conform':>8} {'conv':>5} {'host [s]':>9} "
           f"{'A100-ell [ms]':>14}")
     for e in entries:
         m = e["measured"]
-        print(f"  {e['solver']:>10} {m['spmvs']:>7} {m['precond_applies']:>8} "
+        print(f"  {e['solver']:>19} {m['spmvs']:>7} {m['precond_applies']:>8} "
               f"{m['dots']:>7} {m['norms']:>7} "
               f"{str(e['conformant']):>8} {e['num_converged']:>5} "
               f"{e['host_wall_s']:9.2f} {e['modelled_a100_ell_s'] * 1e3:14.3f}")

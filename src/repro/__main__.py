@@ -92,7 +92,7 @@ def _cmd_picard(args) -> int:
 
     app = CollisionProxyApp(ProxyAppConfig(
         num_mesh_nodes=args.nodes,
-        picard=PicardOptions(matrix_format=args.format),
+        picard=PicardOptions(matrix_format=args.format, solver=args.solver),
     ))
     result = app.run(args.steps)
     by = result.linear_iterations_by_species(app.config)
@@ -152,6 +152,14 @@ def main(argv=None) -> int:
     picard.add_argument("--steps", type=int, default=1)
     picard.add_argument("--format", choices=("csr", "ell", "dia"),
                         default="ell", help="batch matrix format")
+    picard.add_argument(
+        "--solver",
+        choices=("bicgstab", "pipelined_bicgstab", "cgs", "gmres",
+                 "richardson"),
+        default="bicgstab",
+        help="inner batched solver (pipelined_bicgstab trades the "
+             "||s|| early exit for 2 reduction rounds/iteration)",
+    )
     sub.add_parser("tune", help="automatic solver configuration report")
     rep = sub.add_parser("reproduce", help="regenerate all paper artefacts")
     rep.add_argument("--out", default="results", help="output directory")

@@ -24,7 +24,15 @@ from .batch_dense import (
 )
 from .batch_dia import BatchDia
 from .batch_ell import PAD_COL, BatchEll
-from .blas import axpby, fused_update, masked_assign, masked_axpy, masked_fill
+from .blas import (
+    axpby,
+    fused_dots,
+    fused_update,
+    masked_assign,
+    masked_axpy,
+    masked_fill,
+    pipelined_cg_update,
+)
 from .compaction import BatchCompactor
 from .convert import (
     csr_to_dense,
@@ -76,6 +84,8 @@ from .solvers import (
     BatchCg,
     BatchCgs,
     BatchGmres,
+    BatchPipelinedBicgstab,
+    BatchPipelinedCg,
     BatchRichardson,
     EscalationReport,
     EscalationSolver,
@@ -133,8 +143,10 @@ __all__ = [
     "batch_scale",
     "batch_copy",
     "axpby",
+    "fused_dots",
     "fused_update",
     "masked_assign",
+    "pipelined_cg_update",
     "masked_axpy",
     "masked_fill",
     "BatchCompactor",
@@ -158,6 +170,8 @@ __all__ = [
     "BatchCg",
     "BatchCgs",
     "BatchGmres",
+    "BatchPipelinedBicgstab",
+    "BatchPipelinedCg",
     "BatchRichardson",
     "RefinementSolver",
     "EscalationSolver",

@@ -30,10 +30,12 @@ import numpy as np
 
 __all__ = [
     "axpby",
+    "fused_dots",
     "masked_assign",
     "masked_fill",
     "masked_axpy",
     "fused_update",
+    "pipelined_cg_update",
 ]
 
 
@@ -123,6 +125,47 @@ def axpby(
     return out
 
 
+def fused_dots(
+    *pairs: tuple[np.ndarray, np.ndarray],
+    out: np.ndarray | None = None,
+    dtype=None,
+) -> np.ndarray:
+    """Fused reduction round: ``k`` batched dot products in one pass.
+
+    Each operand pair ``(a, b)`` of shape ``(num_batch, n)`` contributes
+    one row of the ``(k, num_batch)`` result — the host analogue of the
+    pipelined solvers' single fused-reduction kernel, and the unit the
+    schedule layer counts as *one* synchronization round regardless of
+    ``k``.  Every row is computed with the exact ``batch_dot`` einsum
+    (same contraction order, same ``dtype`` accumulation), so the fused
+    path is bit-identical to ``k`` separate ``batch_dot`` calls; the win
+    it models is the collapsed device-wide reduction + barrier, not a
+    different summation.
+
+    ``dtype`` sets the accumulation dtype of every reduction (the mixed
+    policy passes float64); ``out`` must have shape ``(k, num_batch)``.
+    """
+    if not pairs:
+        raise ValueError("fused_dots needs at least one (a, b) operand pair")
+    num_batch = pairs[0][0].shape[0]
+    if out is None:
+        res_dtype = np.result_type(
+            dtype if dtype is not None else pairs[0][0].dtype, *[a.dtype for a, _ in pairs]
+        )
+        out = np.empty((len(pairs), num_batch), dtype=res_dtype)
+    if out.shape != (len(pairs), num_batch):
+        raise ValueError(
+            f"fused_dots out has shape {out.shape}, expected {(len(pairs), num_batch)}"
+        )
+    for row, (a, b) in zip(out, pairs):
+        if a.shape != b.shape:
+            raise ValueError(
+                f"fused_dots operands differ in shape: {a.shape} vs {b.shape}"
+            )
+        np.einsum("bi,bi->b", a, b, out=row, dtype=dtype)
+    return out
+
+
 def fused_update(
     p: np.ndarray,
     r: np.ndarray,
@@ -144,3 +187,43 @@ def fused_update(
     np.multiply(p, _per_system(beta), out=p)
     np.add(p, r, out=p)
     return p
+
+
+def pipelined_cg_update(
+    p: np.ndarray,
+    s: np.ndarray,
+    u: np.ndarray,
+    w: np.ndarray,
+    x: np.ndarray,
+    r: np.ndarray,
+    alpha,
+    beta,
+    *,
+    work: np.ndarray,
+) -> None:
+    """Merged Chronopoulos–Gear recurrence block of pipelined CG.
+
+    Performs, in place and allocation-free::
+
+        p = u + beta * p          # search direction
+        s = w + beta * s          # recurrence for A p (no extra SpMV)
+        x = x + alpha * p
+        r = r - alpha * s
+
+    On a GPU these four vector updates fuse into a single kernel between
+    the SpMV and the one fused reduction of the iteration; on the host the
+    scaled operands stream through ``work``.  Frozen systems are handled
+    by the caller zeroing their ``alpha``/``beta`` coefficients, so every
+    system can be updated unconditionally (masked coefficients, not
+    masked kernels — the schedule counts this as one fused group).
+    """
+    a = _per_system(alpha)
+    be = _per_system(beta)
+    np.multiply(p, be, out=p)
+    np.add(p, u, out=p)
+    np.multiply(s, be, out=s)
+    np.add(s, w, out=s)
+    np.multiply(p, a, out=work)
+    np.add(x, work, out=x)
+    np.multiply(s, a, out=work)
+    np.subtract(r, work, out=r)

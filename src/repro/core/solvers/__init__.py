@@ -8,6 +8,10 @@ criterion / logger — the paper's contribution):
 * :class:`~repro.core.solvers.cg.BatchCg`
 * :class:`~repro.core.solvers.gmres.BatchGmres`
 * :class:`~repro.core.solvers.richardson.BatchRichardson`
+* :class:`~repro.core.solvers.pipelined_cg.BatchPipelinedCg` and
+  :class:`~repro.core.solvers.pipelined_bicgstab.BatchPipelinedBicgstab` —
+  sync-avoiding variants with one / two fused reduction rounds per
+  iteration.
 
 Direct baselines:
 
@@ -32,6 +36,8 @@ from .direct_dense import BatchDenseLu, dense_lu_solve
 from .direct_qr import BatchBandedQr, banded_qr_solve
 from .escalation import EscalationReport, EscalationSolver
 from .gmres import BatchGmres
+from .pipelined_bicgstab import BatchPipelinedBicgstab
+from .pipelined_cg import BatchPipelinedCg
 from .refinement import RefinementSolver
 from .richardson import BatchRichardson
 from .tridiag import BatchThomas, BatchTridiag, extract_tridiagonal, thomas_solve
@@ -43,6 +49,8 @@ __all__ = [
     "BatchCg",
     "BatchCgs",
     "BatchGmres",
+    "BatchPipelinedBicgstab",
+    "BatchPipelinedCg",
     "BatchRichardson",
     "RefinementSolver",
     "EscalationSolver",
@@ -67,6 +75,8 @@ _SOLVERS = {
     "cg": BatchCg,
     "cgs": BatchCgs,
     "gmres": BatchGmres,
+    "pipelined_bicgstab": BatchPipelinedBicgstab,
+    "pipelined_cg": BatchPipelinedCg,
     "richardson": BatchRichardson,
     "refinement": RefinementSolver,
     "escalation": EscalationSolver,
@@ -77,6 +87,7 @@ def make_solver(name: str, **kwargs):
     """Factory: build an iterative solver by name.
 
     Accepted names: ``bicgstab``, ``cg``, ``cgs``, ``gmres``, ``richardson``,
+    ``pipelined_cg`` / ``pipelined_bicgstab`` (sync-avoiding variants),
     ``refinement`` (mixed-precision iterative refinement), ``escalation``
     (health-driven re-solve ladder).
     Keyword arguments are forwarded to the solver constructor.

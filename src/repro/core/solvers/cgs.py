@@ -17,8 +17,8 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..batch_dense import batch_dot, batch_norm2
-from ..blas import masked_assign, masked_axpy
+from ..batch_dense import batch_dot
+from ..blas import fused_dots, masked_assign, masked_axpy
 from ..faults import SolverHealth
 from .base import STOP, BatchedIterativeSolver, IterationDriver, safe_divide
 
@@ -80,7 +80,15 @@ class BatchCgs(BatchedIterativeSolver):
             np.multiply(st.work, alpha[:, None], out=st.scratch)
             np.subtract(st.r, st.scratch, out=st.r)
 
-            res_norms = batch_norm2(st.r, dtype=st.acc_dtype)
+            # ||r||^2 and the next rho share the pass over r: one fused
+            # reduction round.  sqrt(r.r) is bit-identical to batch_norm2,
+            # and rho computed before the verify step is safe — restarted
+            # systems are excluded from every use of it below (their
+            # rho_old is reseeded from the true residual by _restart).
+            rr, rho = fused_dots(
+                (st.r, st.r), (st.r_hat, st.r), dtype=st.acc_dtype
+            )
+            res_norms = np.sqrt(rr)
             drv.update_norms(res_norms, st.active)
             newly = st.active & drv.criterion.check(res_norms)
             if np.any(newly):
@@ -95,8 +103,7 @@ class BatchCgs(BatchedIterativeSolver):
             if not np.any(st.active):
                 return STOP
 
-            # rho = r_hat . r ; beta = rho / rho_old
-            rho = batch_dot(st.r_hat, st.r, dtype=st.acc_dtype)
+            # beta = rho / rho_old
             beta = safe_divide(rho, st.rho_old, active_now)
 
             # u = r + beta q ; p = u + beta (q + beta p)

@@ -43,6 +43,7 @@ __all__ = [
     "OpSchedule",
     "OpStats",
     "OpCounts",
+    "REPLACEMENT_PERIOD",
     "solver_schedule",
     "iterative_solver_names",
     "CountingMatrix",
@@ -52,7 +53,11 @@ __all__ = [
 ]
 
 #: Operation kinds a schedule accounts for (batch-kernel invocations).
-_OPS = ("spmvs", "precond_applies", "dots", "norms")
+#: ``syncs`` counts *reduction rounds* — device-wide synchronization
+#: points: one bare ``batch_dot``, one ``batch_norm2``, or one
+#: ``fused_dots`` call (however many dot products it fuses) each cost
+#: exactly one round.  The pipelined solvers exist to shrink this count.
+_OPS = ("spmvs", "precond_applies", "dots", "norms", "syncs")
 
 
 @dataclass
@@ -77,7 +82,10 @@ class OpStats:
         skipping the iteration tail (BiCGSTAB's second half, CG/CGS's
         direction update).
     cycle_steps:
-        GMRES only: Arnoldi steps actually taken in each restart cycle.
+        Arnoldi steps actually taken in each restart cycle (GMRES), or
+        one entry per periodic residual-replacement event (pipelined CG
+        recomputes ``r`` and ``s = A p`` every ``cycle_length`` trips) —
+        either way ``cycles`` multiplies the schedule's ``cycle_*`` ops.
     """
 
     trips: int = 0
@@ -120,24 +128,46 @@ class OpSchedule:
     axpys: float
     vectors: tuple[VectorSpec, ...]
     host_scratch: tuple[str, ...] = ()
+    #: Reduction rounds (sync points) per iteration; see ``_OPS``.
+    syncs: float = 0.0
+    #: Rounds per iteration that carry dot products (the acceptance metric
+    #: for the pipelined variants: pipelined CG fuses its two dots plus the
+    #: residual norm into one round).
+    dot_rounds: float = 0.0
+    #: Kernel launches per iteration when the solve is *not* compiled into
+    #: one fused kernel: every SpMV, preconditioner apply, reduction round,
+    #: and fused vector-update group is its own launch.
+    fused_groups: float = 0.0
+    setup_fused_groups: float = 0.0
     setup_spmvs: float = 1.0
     setup_precond_applies: float = 0.0
     setup_dots: float = 0.0
     setup_norms: float = 2.0
     setup_axpys: float = 0.0
+    setup_syncs: float = 0.0
     verify_spmvs: float = 0.0
+    verify_precond_applies: float = 0.0
+    verify_dots: float = 0.0
     verify_norms: float = 0.0
+    verify_syncs: float = 0.0
+    restart_spmvs: float = 0.0
+    restart_precond_applies: float = 0.0
     restart_dots: float = 0.0
+    restart_norms: float = 0.0
+    restart_syncs: float = 0.0
     tail_spmvs: float = 0.0
     tail_precond_applies: float = 0.0
     tail_dots: float = 0.0
     tail_norms: float = 0.0
+    tail_syncs: float = 0.0
     cycle_length: int | None = None
     cycle_spmvs: float = 0.0
     cycle_precond_applies: float = 0.0
     cycle_dots: float = 0.0
     cycle_norms: float = 0.0
     cycle_axpys: float = 0.0
+    cycle_syncs: float = 0.0
+    cycle_fused_groups: float = 0.0
     #: GMRES: dot count per Arnoldi step grows with the subspace (step j
     #: performs j+1 MGS dots); the flat ``dots`` field holds the cycle
     #: average and :meth:`expected_counts` uses the exact triangular sum.
@@ -178,16 +208,18 @@ class OpSchedule:
                 + getattr(self, op) * stats.trips
                 + getattr(self, f"cycle_{op}") * stats.cycles
                 - getattr(self, f"tail_{op}") * trim
+                + getattr(self, f"verify_{op}") * stats.verify_events
+                + getattr(self, f"restart_{op}") * stats.restart_events
             )
-        counts["spmvs"] += self.verify_spmvs * stats.verify_events
-        counts["norms"] += self.verify_norms * stats.verify_events
-        counts["dots"] += self.restart_dots * stats.restart_events
         if self.dots_grow_with_subspace:
             # Step j of a cycle performs j+1 MGS dots: a cycle of s steps
-            # does s(s+1)/2, replacing the flat per-trip average.
+            # does s(s+1)/2, replacing the flat per-trip average.  Every
+            # GMRES reduction is its own unfused round, so the sync count
+            # is exactly the dot count plus the norm count.
             counts["dots"] = self.setup_dots + sum(
                 s * (s + 1) / 2.0 for s in stats.cycle_steps
             )
+            counts["syncs"] = counts["dots"] + counts["norms"]
         return counts
 
 
@@ -208,10 +240,18 @@ def _bicgstab_schedule() -> OpSchedule:
     return OpSchedule(
         solver="bicgstab",
         spmvs=2.0, precond_applies=2.0, dots=4.0, norms=2.0, axpys=6.0,
-        setup_spmvs=1.0, setup_norms=2.0,
-        verify_spmvs=1.0, verify_norms=1.0,
+        # 5 reduction rounds: rho, the alpha denominator, ||s||, the fused
+        # (t.s, t.t) pair (one round since the classic hot loop adopted
+        # fused_dots), and ||r||.  The unfused textbook loop pays 6.
+        syncs=5.0, dot_rounds=3.0,
+        # Component-kernel launches per iteration: 2 SpMV + 2 precond + 5
+        # reduction rounds + 4 fused vector-update kernels.
+        fused_groups=13.0, setup_fused_groups=5.0,
+        setup_spmvs=1.0, setup_norms=2.0, setup_syncs=2.0,
+        verify_spmvs=1.0, verify_norms=1.0, verify_syncs=1.0,
         # The ||s|| early exit skips the second half-step entirely.
         tail_spmvs=1.0, tail_precond_applies=1.0, tail_dots=2.0, tail_norms=1.0,
+        tail_syncs=2.0,
         vectors=tuple(v),
         host_scratch=("true_r", "work"),
     )
@@ -221,11 +261,16 @@ def _cg_schedule() -> OpSchedule:
     return OpSchedule(
         solver="cg",
         spmvs=1.0, precond_applies=1.0, dots=2.0, norms=1.0, axpys=3.0,
+        # 3 rounds: p.Ap, ||r||, r.z — the classic CG synchronization cost
+        # pipelined CG collapses to one.
+        syncs=3.0, dot_rounds=2.0,
+        # 1 SpMV + 1 precond + 3 reduction rounds + 3 vector updates.
+        fused_groups=8.0, setup_fused_groups=6.0,
         setup_spmvs=1.0, setup_precond_applies=1.0, setup_dots=1.0,
-        setup_norms=2.0,
+        setup_norms=2.0, setup_syncs=3.0,
         # Convergence is checked before the direction update: the final
         # trip skips one precond apply and the rz dot.
-        tail_precond_applies=1.0, tail_dots=1.0,
+        tail_precond_applies=1.0, tail_dots=1.0, tail_syncs=1.0,
         vectors=(
             VectorSpec("p", "spmv", touches=3.0),
             VectorSpec("w", "spmv", touches=2.0),
@@ -240,13 +285,17 @@ def _cg_schedule() -> OpSchedule:
 def _cgs_schedule() -> OpSchedule:
     return OpSchedule(
         solver="cgs",
-        spmvs=2.0, precond_applies=2.0, dots=2.0, norms=1.0, axpys=7.0,
-        setup_spmvs=1.0, setup_dots=1.0, setup_norms=2.0,
-        verify_spmvs=1.0, verify_norms=1.0,
+        # The hot loop fuses the residual norm (as r.r) and the rho dot
+        # into one fused_dots round: 3 dots, no separate norm kernel, and
+        # only 2 reduction rounds per iteration.
+        spmvs=2.0, precond_applies=2.0, dots=3.0, norms=0.0, axpys=7.0,
+        syncs=2.0, dot_rounds=2.0,
+        # 2 SpMV + 2 precond + 2 reduction rounds + 7 vector updates.
+        fused_groups=13.0, setup_fused_groups=7.0,
+        setup_spmvs=1.0, setup_dots=1.0, setup_norms=2.0, setup_syncs=3.0,
+        verify_spmvs=1.0, verify_norms=1.0, verify_syncs=1.0,
         # Restarted systems reseed rho from the true residual: one dot.
-        restart_dots=1.0,
-        # The final trip exits before the rho dot and direction update.
-        tail_dots=1.0,
+        restart_dots=1.0, restart_syncs=1.0,
         vectors=(
             VectorSpec("work", "spmv", touches=2.0),
             VectorSpec("v", "spmv", touches=2.0),
@@ -267,7 +316,9 @@ def _richardson_schedule() -> OpSchedule:
     return OpSchedule(
         solver="richardson",
         spmvs=1.0, precond_applies=1.0, dots=0.0, norms=1.0, axpys=1.0,
-        setup_spmvs=1.0, setup_norms=2.0,
+        syncs=1.0, dot_rounds=0.0,
+        fused_groups=4.0, setup_fused_groups=3.0,
+        setup_spmvs=1.0, setup_norms=2.0, setup_syncs=2.0,
         vectors=(
             VectorSpec("z", "spmv", touches=2.0),
             VectorSpec("r", "aux", touches=2.0),
@@ -288,12 +339,20 @@ def _gmres_schedule(restart: int) -> OpSchedule:
         # average over a full cycle — 1 norm, and the MGS/basis updates.
         spmvs=1.0, precond_applies=1.0, dots=(m + 1) / 2.0, norms=1.0,
         axpys=(m + 3) / 2.0,
-        setup_spmvs=1.0, setup_norms=2.0,
+        # Every MGS dot and norm is its own unfused reduction round (the
+        # exact count is triangular; expected_counts pins syncs to
+        # dots + norms).
+        syncs=(m + 1) / 2.0 + 1.0, dot_rounds=(m + 1) / 2.0,
+        fused_groups=float(m) + 5.0, setup_fused_groups=3.0,
+        setup_spmvs=1.0, setup_norms=2.0, setup_syncs=2.0,
         # Per restart cycle: starting residual + norm, the solution update
         # through the preconditioner, and the boundary true residual + norm.
         cycle_length=m,
         cycle_spmvs=2.0, cycle_precond_applies=1.0, cycle_norms=2.0,
-        cycle_axpys=float(m),
+        cycle_axpys=float(m), cycle_syncs=2.0,
+        # Restart boundary as component kernels: 2 SpMV + 1 precond + 2
+        # reduction rounds + the Hessenberg solve / solution update pair.
+        cycle_fused_groups=7.0,
         dots_grow_with_subspace=True,
         vectors=basis + (
             VectorSpec("r", "aux", touches=2.0),
@@ -303,10 +362,91 @@ def _gmres_schedule(restart: int) -> OpSchedule:
     )
 
 
+#: Pipelined solvers recompute their drifting recurrences from scratch
+#: every this many iterations (residual replacement, Ghysels & Vanroose);
+#: declared as the schedule's ``cycle_length`` so the GPU model amortises
+#: the replacement kernels honestly.
+REPLACEMENT_PERIOD = 8
+
+
+def _pipelined_cg_schedule() -> OpSchedule:
+    # Chronopoulos-Gear CG: the recurrence s = A p replaces nothing in
+    # FLOP terms (still one SpMV per iteration, applied to u), but the
+    # three reductions gamma = r.u, delta = w.u, and ||r||^2 = r.r fuse
+    # into ONE round — versus classic CG's three.  The price: one extra
+    # persistent vector (s), a heavier 4-way recurrence update, and a
+    # residual-replacement pass (2 SpMVs) every REPLACEMENT_PERIOD trips
+    # to curb recurrence drift.
+    return OpSchedule(
+        solver="pipelined_cg",
+        spmvs=1.0, precond_applies=1.0, dots=3.0, norms=0.0, axpys=4.0,
+        syncs=1.0, dot_rounds=1.0,
+        # 1 SpMV + 1 precond + 1 fused reduction + 1 merged 4-way update.
+        fused_groups=4.0, setup_fused_groups=6.0,
+        setup_spmvs=2.0, setup_precond_applies=1.0, setup_dots=2.0,
+        setup_norms=2.0, setup_syncs=3.0,
+        verify_spmvs=1.0, verify_norms=1.0, verify_syncs=1.0,
+        # Drifted systems rebuild u, w, gamma, alpha from the true
+        # residual: one precond, one SpMV, one fused two-dot round.
+        restart_spmvs=1.0, restart_precond_applies=1.0, restart_dots=2.0,
+        restart_syncs=1.0,
+        # Residual replacement: recompute r = b - A x and s = A p — as
+        # component kernels, two SpMVs plus the b - A x subtraction.
+        cycle_length=REPLACEMENT_PERIOD, cycle_spmvs=2.0,
+        cycle_fused_groups=3.0,
+        vectors=(
+            VectorSpec("u", "spmv", touches=3.0),
+            VectorSpec("w", "spmv", touches=3.0),
+            VectorSpec("p", "aux", touches=3.0),
+            VectorSpec("s", "aux", touches=3.0),
+            VectorSpec("r", "aux", touches=3.0),
+            VectorSpec("x", "aux", touches=2.0),
+        ),
+        host_scratch=("work", "scratch", "true_r"),
+    )
+
+
+def _pipelined_bicgstab_schedule() -> OpSchedule:
+    # Same vector set and SpMV count as classic BiCGSTAB, but the six
+    # reductions regroup into two rounds: r_hat.v alone (alpha must exist
+    # before s can be formed), then a fused five-dot round (t.s, t.t,
+    # r_hat.s, r_hat.t, s.s) from which omega, the rho recurrence
+    # rho' = (r_hat.s) - omega (r_hat.t), and the residual norm
+    # ||r||^2 = s.s - 2 omega t.s + omega^2 t.t all follow without
+    # another pass.  The ||s|| mid-iteration early exit is given up —
+    # it would cost a third round.
+    v = [
+        VectorSpec("p_hat", "spmv", touches=3.0),
+        VectorSpec("v", "spmv", touches=3.0),
+        VectorSpec("s_hat", "spmv", touches=3.0),
+        VectorSpec("t", "spmv", touches=3.0),
+        VectorSpec("r", "aux", touches=3.0),
+        VectorSpec("r_hat", "aux", touches=3.0),
+        VectorSpec("p", "aux", touches=3.0),
+        VectorSpec("s", "aux", touches=3.0),
+        VectorSpec("x", "aux", touches=3.0),
+    ]
+    return OpSchedule(
+        solver="pipelined_bicgstab",
+        spmvs=2.0, precond_applies=2.0, dots=6.0, norms=0.0, axpys=7.0,
+        syncs=2.0, dot_rounds=2.0,
+        # 2 SpMV + 2 precond + 2 reduction rounds + 4 vector updates.
+        fused_groups=10.0, setup_fused_groups=5.0,
+        setup_spmvs=1.0, setup_dots=1.0, setup_norms=2.0, setup_syncs=3.0,
+        verify_spmvs=1.0, verify_norms=1.0, verify_syncs=1.0,
+        # Drifted systems reseed the rho recurrence from the true residual.
+        restart_dots=1.0, restart_syncs=1.0,
+        vectors=tuple(v),
+        host_scratch=("true_r", "work"),
+    )
+
+
 _FIXED_SCHEDULES = {
     "bicgstab": _bicgstab_schedule,
     "cg": _cg_schedule,
     "cgs": _cgs_schedule,
+    "pipelined_bicgstab": _pipelined_bicgstab_schedule,
+    "pipelined_cg": _pipelined_cg_schedule,
     "richardson": _richardson_schedule,
 }
 
@@ -339,12 +479,18 @@ def solver_schedule(solver: str, *, gmres_restart: int = 30) -> OpSchedule:
 
 @dataclass
 class OpCounts:
-    """Measured batch-kernel invocation counts of one instrumented solve."""
+    """Measured batch-kernel invocation counts of one instrumented solve.
+
+    ``dots`` counts individual dot products (a ``fused_dots`` call adds
+    one per fused pair); ``syncs`` counts reduction *rounds* — a fused
+    call adds exactly one, however many dots it carries.
+    """
 
     spmvs: int = 0
     precond_applies: int = 0
     dots: int = 0
     norms: int = 0
+    syncs: int = 0
 
     def as_dict(self) -> dict[str, int]:
         return {
@@ -352,6 +498,7 @@ class OpCounts:
             "precond_applies": self.precond_applies,
             "dots": self.dots,
             "norms": self.norms,
+            "syncs": self.syncs,
         }
 
 
@@ -436,25 +583,53 @@ class CountingPreconditioner:
 
 @contextmanager
 def count_batch_ops(counts: OpCounts):
-    """Count ``batch_dot`` / ``batch_norm2`` calls made by the solvers.
+    """Count reduction kernels (``batch_dot`` / ``batch_norm2`` /
+    ``fused_dots``) invoked by the solvers.
 
     The solver modules import these reductions by name, so counting works
     by temporarily rebinding the module attributes; the originals are
-    restored on exit even if the solve raises.
+    restored on exit even if the solve raises.  Each call is one sync
+    round; a fused call contributes ``k`` dots but a single round.
     """
-    from . import base, bicgstab, cg, cgs, gmres, richardson
+    from ..blas import fused_dots as _fused_dots
+    from . import (
+        base,
+        bicgstab,
+        cg,
+        cgs,
+        gmres,
+        pipelined_bicgstab,
+        pipelined_cg,
+        richardson,
+    )
 
     def counting_dot(a, b, out=None, *, dtype=None):
         counts.dots += 1
+        counts.syncs += 1
         return _batch_dot(a, b, out, dtype=dtype)
 
     def counting_norm2(a, out=None, *, dtype=None):
         counts.norms += 1
+        counts.syncs += 1
         return _batch_norm2(a, out, dtype=dtype)
 
+    def counting_fused_dots(*pairs, out=None, dtype=None):
+        counts.dots += len(pairs)
+        counts.syncs += 1
+        return _fused_dots(*pairs, out=out, dtype=dtype)
+
     saved = []
-    for mod in (base, bicgstab, cg, cgs, gmres, richardson):
-        for name, repl in (("batch_dot", counting_dot), ("batch_norm2", counting_norm2)):
+    modules = (
+        base, bicgstab, cg, cgs, gmres, pipelined_bicgstab, pipelined_cg,
+        richardson,
+    )
+    replacements = (
+        ("batch_dot", counting_dot),
+        ("batch_norm2", counting_norm2),
+        ("fused_dots", counting_fused_dots),
+    )
+    for mod in modules:
+        for name, repl in replacements:
             if hasattr(mod, name):
                 saved.append((mod, name, getattr(mod, name)))
                 setattr(mod, name, repl)

@@ -15,7 +15,7 @@ from functools import lru_cache
 
 import numpy as np
 
-from ..core import AbsoluteResidual, BatchBicgstab, BatchLogger
+from ..core import AbsoluteResidual, BatchBicgstab, BatchLogger, make_solver
 from ..xgc import CollisionProxyApp, PicardOptions, PicardStepper, ProxyAppConfig
 
 __all__ = [
@@ -27,7 +27,9 @@ __all__ = [
     "STORED_ELL",
     "paper_app",
     "measured_zero_guess",
+    "measured_variant_iterations",
     "measured_picard",
+    "spd_stencil_batch",
     "tile_iterations",
 ]
 
@@ -90,6 +92,61 @@ def measured_zero_guess(num_mesh_nodes: int = 8):
         logger=BatchLogger(),
     )
     return app, solver.solve(matrix, f)
+
+
+@lru_cache(maxsize=2)
+def spd_stencil_batch(num_mesh_nodes: int = 2):
+    """An SPD batch on the paper's n = 992 stencil pattern.
+
+    The collision matrices are nonsymmetric, so the CG family needs a
+    surrogate with the same sparsity structure and size: the symmetric
+    part of the assembled batch, diagonally shifted into strict dominance
+    (hence SPD).  Returns ``(matrix, rhs)`` as :class:`~repro.core.
+    BatchCsr`.
+    """
+    from ..core import BatchCsr, to_format
+
+    app = paper_app(num_mesh_nodes)
+    matrix, f = app.build_matrices()
+    dense = np.array(to_format(matrix, "dense").values, dtype=np.float64)
+    sym = 0.5 * (dense + np.swapaxes(dense, 1, 2))
+    i = np.arange(sym.shape[1])
+    off = np.abs(sym).sum(axis=2) - np.abs(sym[:, i, i])
+    sym[:, i, i] = off + 1.0
+    return BatchCsr.from_dense(sym), f
+
+
+@lru_cache(maxsize=4)
+def measured_variant_iterations(num_mesh_nodes: int = 8):
+    """Per-system iteration counts of each classic/pipelined variant.
+
+    BiCGSTAB and its pipelined sibling run one real zero-guess solve of
+    the collision batch; the CG pair (SPD-only theory) runs the
+    :func:`spd_stencil_batch` surrogate.  Returns ``{solver_name:
+    iterations}`` — the honest per-variant inputs for the crossover model
+    (pipelined variants converge in slightly different counts, which the
+    timing comparison must charge).
+    """
+    app = paper_app(num_mesh_nodes)
+    matrix, f = app.build_matrices()
+    spd, spd_f = spd_stencil_batch()
+    problems = {
+        "bicgstab": (matrix, f),
+        "pipelined_bicgstab": (matrix, f),
+        "cg": (spd, spd_f),
+        "pipelined_cg": (spd, spd_f),
+    }
+    out = {}
+    for name, (m, b) in problems.items():
+        solver = make_solver(
+            name, preconditioner="jacobi",
+            criterion=AbsoluteResidual(1e-10), max_iter=500,
+        )
+        res = solver.solve(m, b)
+        if not res.converged.all():
+            raise RuntimeError(f"{name} failed to converge on the paper batch")
+        out[name] = res.iterations
+    return out
 
 
 @lru_cache(maxsize=4)

@@ -24,6 +24,7 @@ from .common import (
     STORED_ELL,
     ExperimentResult,
     measured_picard,
+    measured_variant_iterations,
     measured_zero_guess,
     paper_app,
     tile_iterations,
@@ -151,6 +152,65 @@ def fig6() -> ExperimentResult:
         for s in iterative_solver_names()
     }
 
+    # Pipelined-crossover inset: classic vs pipelined, each charged its
+    # OWN measured iteration counts (pipelined CG's residual replacement
+    # and pipelined BiCGSTAB's forgone ||s|| early exit may shift them),
+    # across batch sizes and GPUs on the ELL format.  The reduction-round
+    # latency saved by the pipelined variants is constant per kernel trip
+    # while their per-system extras scale with the batch, so each series
+    # pair crosses at some batch size; report it per GPU — measured
+    # inside the sweep, extrapolated from the linear tail otherwise.
+    variant_its = measured_variant_iterations()
+    families = {
+        "cg": ("cg", "pipelined_cg"),
+        "bicgstab": ("bicgstab", "pipelined_bicgstab"),
+    }
+    pipelined: dict[str, dict] = {}
+    crossover_lines = []
+    for family, (classic, pipe) in families.items():
+        for hw in GPUS:
+            series = {}
+            for name in (classic, pipe):
+                series[name] = [
+                    estimate_iterative_solve(
+                        hw, "ell", N_ROWS, nnz,
+                        tile_iterations(variant_its[name], nb),
+                        stored_nnz=STORED_ELL, solver=name,
+                    ).total_time_s
+                    for nb in BATCH_SIZES
+                ]
+            gap = [c - p for c, p in zip(series[classic], series[pipe])]
+            inside = [nb for nb, g in zip(BATCH_SIZES, gap) if g <= 0.0]
+            if inside:
+                where = f"classic from batch {inside[0]}"
+                cross = float(inside[0])
+            else:
+                # Both series are affine in the batch size beyond slot
+                # saturation: extrapolate from the last two sweep points.
+                n1, n2 = BATCH_SIZES[-2], BATCH_SIZES[-1]
+                slope = (gap[-1] - gap[-2]) / (n2 - n1)
+                if slope >= 0.0:
+                    where = "pipelined at every batch size"
+                    cross = float("inf")
+                else:
+                    cross = n2 + gap[-1] / -slope
+                    where = f"classic from batch ~{cross:.0f} (extrapolated)"
+            pipelined[f"{family}-{hw.name}"] = {
+                "batch_sizes": list(BATCH_SIZES),
+                "classic_s": series[classic],
+                "pipelined_s": series[pipe],
+                "crossover_batch": cross,
+            }
+            saved = [
+                f"{(c - p) * 1e6:+.0f}"
+                for c, p in zip(series[classic], series[pipe])
+            ]
+            crossover_lines.append(
+                f"  {family:>8} {hw.name:<6} classic-pipelined [us]: "
+                + " ".join(f"{s:>7}" for s in saved)
+                + f" | {where}"
+            )
+
     cols = list(next(iter(rows.values())))
     header = f"{'batch':>6} " + " ".join(f"{c:>14}" for c in cols)
     left = [header]
@@ -166,12 +226,19 @@ def fig6() -> ExperimentResult:
         + f"\n\nFig 6 (inset): solver schedules at batch {nb_fix} "
         "(A100, ELL) [ms]\n"
         + "\n".join(
-            f"  {s:>10} {t * 1e3:10.3f}" for s, t in sorted(per_solver.items())
+            f"  {s:>18} {t * 1e3:10.3f}" for s, t in sorted(per_solver.items())
         )
+        + "\n\nFig 6 (inset): classic vs pipelined crossover (ELL; "
+        "positive = pipelined faster)\n"
+        + f"  {'':>8} {'':<6} batch sizes:            "
+        + " ".join(f"{nb:>7}" for nb in BATCH_SIZES) + "\n"
+        + "\n".join(crossover_lines)
     )
     return ExperimentResult(
         name="fig6", description="solve time vs batch size",
-        data={"series": rows, "per_solver": per_solver}, text=text,
+        data={"series": rows, "per_solver": per_solver,
+              "pipelined_crossover": pipelined},
+        text=text,
     )
 
 

@@ -17,6 +17,8 @@ from .kernel import (
     dense_lu_work,
     escalation_work,
     iteration_work,
+    kernel_launches,
+    reduction_rounds,
     setup_work,
     spmv_work,
     storage_for_solver,
@@ -39,7 +41,12 @@ from .timing import (
     estimate_iterative_solve,
     estimate_spmv,
 )
-from .tuning import TuningDecision, tune_batched_solver, tune_for_matrix
+from .tuning import (
+    TuningDecision,
+    choose_solver_variant,
+    tune_batched_solver,
+    tune_for_matrix,
+)
 from .warp import (
     csr_spmv_utilization,
     ell_spmv_utilization,
@@ -64,6 +71,8 @@ __all__ = [
     "dense_lu_work",
     "escalation_work",
     "storage_for_solver",
+    "reduction_rounds",
+    "kernel_launches",
     "MemoryEstimate",
     "estimate_memory",
     "Occupancy",
@@ -77,6 +86,7 @@ __all__ = [
     "estimate_direct_qr",
     "estimate_dense_lu",
     "TuningDecision",
+    "choose_solver_variant",
     "tune_batched_solver",
     "tune_for_matrix",
     "CpuSolveEstimate",

@@ -50,6 +50,14 @@ class GpuSpec:
         discrete jumps at multiples of 120 CUs).
     launch_overhead_us:
         Host-side cost of one kernel launch.
+    sync_latency_us:
+        Cost of one device-wide reduction round (grid synchronization +
+        scalar broadcast) inside the fused solver kernel.  A calibration
+        parameter like ``launch_overhead_us``: cooperative-group grid
+        barriers measure a few microseconds on Volta/Ampere and somewhat
+        more on CDNA.  Billed per *reduction round* — a fused multi-dot
+        still pays once — so it is what the pipelined solver variants
+        actually save.
     fp64_efficiency:
         Achievable fraction of peak FP64 in the fused batched kernels.
     qr_parallel_efficiency:
@@ -74,6 +82,7 @@ class GpuSpec:
     max_shared_per_block_kib: int
     scheduling: str
     launch_overhead_us: float = 10.0
+    sync_latency_us: float = 4.0
     fp64_efficiency: float = 0.5
     qr_parallel_efficiency: float = 0.02
     l2_bw_multiplier: float = 3.0
@@ -173,6 +182,7 @@ V100 = GpuSpec(
     warp_size=32,
     max_shared_per_block_kib=96,
     scheduling="flexible",
+    sync_latency_us=4.0,
     bw_efficiency=0.80,
 )
 
@@ -187,6 +197,7 @@ A100 = GpuSpec(
     warp_size=32,
     max_shared_per_block_kib=164,
     scheduling="flexible",
+    sync_latency_us=3.0,
     bw_efficiency=0.85,
     l2_bw_multiplier=1.5,
 )
@@ -203,6 +214,7 @@ MI100 = GpuSpec(
     warp_size=64,
     max_shared_per_block_kib=64,
     scheduling="wave",
+    sync_latency_us=5.0,  # software grid sync: costlier than NVIDIA's
     bw_efficiency=0.45,
     target_blocks_per_cu=1,  # dispatch granularity observed in Fig. 6
 )

@@ -31,6 +31,8 @@ __all__ = [
     "banded_lu_work",
     "banded_qr_work",
     "escalation_work",
+    "kernel_launches",
+    "reduction_rounds",
     "storage_for_solver",
 ]
 
@@ -128,6 +130,42 @@ def spmv_work(
         # both usually live in shared memory for the fused solver — the
         # caller zeroes vector_bytes when that is the case.
         vector_bytes=2.0 * num_rows * value_bytes,
+    )
+
+
+def reduction_rounds(schedule: OpSchedule, num_iterations: float) -> float:
+    """Device-wide reduction rounds of one fused solve, from the schedule.
+
+    A round is one grid-wide synchronization + scalar broadcast: a bare
+    ``batch_dot`` or ``batch_norm2`` costs one, a ``fused_dots`` call
+    costs one *regardless of how many dots it carries* — exactly what the
+    schedules' ``syncs`` channel declares and the conformance tests
+    measure.  ``num_iterations`` is the kernel's trip count — the batch
+    *maximum* per-system iteration count, since the loop of the fused
+    kernel runs until the slowest system converges (frozen systems ride
+    along in masked no-op form but the barrier still costs every block).
+    """
+    return schedule.setup_syncs + schedule.amortized("syncs") * num_iterations
+
+
+def kernel_launches(
+    schedule: OpSchedule, num_iterations: float, *, fused: bool = True
+) -> float:
+    """Host-side kernel launches of one batched solve.
+
+    ``fused=True`` is the paper's production kernel: the whole solve —
+    setup, every iteration, convergence checks — is ONE launch.  With
+    ``fused=False`` every fused kernel group (the maximal run of BLAS-1 /
+    SpMV work between two reduction rounds, declared as the schedules'
+    ``fused_groups`` channel) becomes its own launch, which is how a
+    library-composed (cuBLAS/cuSPARSE-call-per-op) implementation runs
+    and why it loses at small batch sizes.
+    """
+    if fused:
+        return 1.0
+    return (
+        schedule.setup_fused_groups
+        + schedule.amortized("fused_groups") * num_iterations
     )
 
 

@@ -35,6 +35,8 @@ from .kernel import (
     banded_qr_work,
     dense_lu_work,
     iteration_work,
+    kernel_launches,
+    reduction_rounds,
     setup_work,
     spmv_work,
     storage_for_solver,
@@ -55,11 +57,12 @@ class GpuSolveEstimate:
     Attributes
     ----------
     total_time_s:
-        Wall-clock of the whole batch (launch + makespan).
+        Wall-clock of the whole batch (launch + sync + makespan).
     per_entry_time_s:
         ``total_time_s / num_batch`` (the right panel of Fig. 6).
     launch_s:
-        Kernel-launch overhead component.
+        Kernel-launch overhead component — one launch for the fused
+        kernel, one per component kernel otherwise.
     block_times_s:
         Per-system block execution times.
     storage:
@@ -70,6 +73,11 @@ class GpuSolveEstimate:
         Cache/traffic estimate per iteration (or per kernel for direct).
     warp_utilization:
         Whole-kernel lane utilisation (Table II metric).
+    sync_s:
+        Device-wide reduction-round cost: the schedule's sync points per
+        iteration times the kernel's trip count (the batch-maximum
+        iteration count) times the hardware's per-round latency.  This is
+        the term the pipelined solver variants shrink.
     """
 
     total_time_s: float
@@ -80,6 +88,7 @@ class GpuSolveEstimate:
     occupancy: Occupancy
     memory: MemoryEstimate
     warp_utilization: float
+    sync_s: float = 0.0
 
 
 #: Exponent of the memory-parallelism penalty ``u^-MEM_PARALLEL_EXP``:
@@ -131,6 +140,7 @@ def estimate_iterative_solve(
     preconditioner: str = "jacobi",
     gmres_restart: int = 30,
     value_bytes: int = 8,
+    fused: bool = True,
 ) -> GpuSolveEstimate:
     """Model the fused batched iterative solve.
 
@@ -162,6 +172,12 @@ def estimate_iterative_solve(
         doubles the vector capacity of the shared-memory budget, and
         doubles the usable compute throughput (GPU fp32 peak is twice the
         fp64 peak).
+    fused:
+        ``True`` (the paper's production kernel) bills ONE kernel launch
+        for the whole solve; ``False`` models a library-composed
+        implementation that launches every fused kernel group of the
+        schedule separately, paying ``launch_overhead_us`` per component
+        kernel per iteration.
     """
     iterations = np.asarray(iterations, dtype=np.float64)
     num_batch = iterations.shape[0]
@@ -225,9 +241,19 @@ def estimate_iterative_solve(
     )
 
     block_times = t_setup + iterations * t_iter
-    launch = hw.launch_overhead_us * 1e-6
+    # The kernel's loop trips until the *slowest* system converges: both
+    # the launch count of the unfused composition and the grid-wide
+    # reduction rounds scale with the batch-maximum iteration count.
+    iters_max = float(iterations.max()) if num_batch else 0.0
+    launch = (
+        kernel_launches(schedule, iters_max, fused=fused)
+        * hw.launch_overhead_us * 1e-6
+    )
+    sync_s = (
+        reduction_rounds(schedule, iters_max) * hw.sync_latency_us * 1e-6
+    )
     makespan = schedule_blocks(hw, occ, block_times)
-    total = launch + makespan
+    total = launch + sync_s + makespan
     return GpuSolveEstimate(
         total_time_s=total,
         per_entry_time_s=total / max(num_batch, 1),
@@ -237,6 +263,7 @@ def estimate_iterative_solve(
         occupancy=occ,
         memory=mem,
         warp_utilization=util,
+        sync_s=sync_s,
     )
 
 

@@ -38,7 +38,12 @@ from ..utils.validation import check_positive
 from .hardware import GpuSpec
 from .occupancy import Occupancy, compute_occupancy
 
-__all__ = ["TuningDecision", "tune_batched_solver", "tune_for_matrix"]
+__all__ = [
+    "TuningDecision",
+    "choose_solver_variant",
+    "tune_batched_solver",
+    "tune_for_matrix",
+]
 
 #: Hardware thread cap per block (uniform across the modelled GPUs).
 MAX_THREADS_PER_BLOCK = 1024
@@ -58,6 +63,14 @@ DIA_PADDING_LIMIT = 0.5
 #: Systems below this row count are "small": the fused one-kernel design
 #: (all iterations inside one launch) is the right call.
 FUSED_ROW_LIMIT = 8192
+
+#: Classic solvers with a pipelined (fused-reduction) sibling.
+PIPELINED_VARIANTS = {"cg": "pipelined_cg", "bicgstab": "pipelined_bicgstab"}
+
+#: Representative per-system iteration count used when the variant choice
+#: has no measured counts to go on (the paper's n = 992 stencil converges
+#: in a few tens of BiCGSTAB iterations at the production tolerance).
+VARIANT_MODEL_ITERATIONS = 32
 
 
 @dataclass(frozen=True)
@@ -82,6 +95,12 @@ class TuningDecision:
         selected.
     rationale:
         Human-readable reasons, keyed by decision.
+    solver_variant:
+        The solver actually configured: the requested solver, or its
+        pipelined sibling when the batch size was supplied and the
+        sync-aware cost model priced the pipelined variant cheaper
+        (``None`` when no batch size was given, i.e. no variant choice
+        was made).
     """
 
     fmt: str
@@ -91,6 +110,7 @@ class TuningDecision:
     occupancy: Occupancy
     fused_kernel: bool
     rationale: dict = field(default_factory=dict)
+    solver_variant: str | None = None
 
 
 def _choose_format(
@@ -141,6 +161,67 @@ def _choose_format(
     )
 
 
+def choose_solver_variant(
+    hw: GpuSpec,
+    fmt: str,
+    num_rows: int,
+    nnz: int,
+    num_batch: int,
+    *,
+    solver: str = "bicgstab",
+    iterations: int = VARIANT_MODEL_ITERATIONS,
+    stored_nnz: int | None = None,
+    preconditioner: str = "jacobi",
+    value_bytes: int = 8,
+) -> tuple[str, str]:
+    """Classic or pipelined: price both through the sync-aware cost model.
+
+    The trade is batch-size dependent.  The device-wide reduction rounds
+    cost ``sync_latency_us`` each *per kernel trip*, independent of the
+    batch size — at small batches they dominate and the pipelined
+    variants' fewer rounds win.  The pipelined extras (residual
+    replacement SpMVs for pipelined CG, the heavier recurrence updates)
+    scale per system, so a large enough batch amortises the sync savings
+    away and classic wins back.  Returns ``(chosen_solver, rationale)``;
+    solvers without a pipelined sibling are returned unchanged.
+    """
+    import numpy as np
+
+    check_positive(num_batch, "num_batch")
+    pipelined = PIPELINED_VARIANTS.get(solver)
+    if pipelined is None:
+        return solver, (
+            f"{solver} has no pipelined variant: keeping the requested solver"
+        )
+    from .timing import estimate_iterative_solve
+
+    iters = np.full(num_batch, float(iterations))
+    est = {
+        name: estimate_iterative_solve(
+            hw, fmt, num_rows, nnz, iters,
+            stored_nnz=stored_nnz, solver=name,
+            preconditioner=preconditioner, value_bytes=value_bytes,
+        )
+        for name in (solver, pipelined)
+    }
+    t_classic = est[solver].total_time_s
+    t_pipe = est[pipelined].total_time_s
+    saved_sync_us = (est[solver].sync_s - est[pipelined].sync_s) * 1e6
+    if t_pipe < t_classic:
+        return pipelined, (
+            f"{pipelined} modelled at {t_pipe * 1e6:.0f} us vs "
+            f"{t_classic * 1e6:.0f} us for {solver} on {num_batch} systems: "
+            f"{saved_sync_us:.0f} us of reduction-round latency saved "
+            "outweighs the pipelined per-system extras at this batch size"
+        )
+    return solver, (
+        f"{solver} modelled at {t_classic * 1e6:.0f} us vs "
+        f"{t_pipe * 1e6:.0f} us for {pipelined} on {num_batch} systems: "
+        "the batch is large enough that the per-system pipelined extras "
+        f"outweigh the {saved_sync_us:.0f} us of reduction-round savings"
+    )
+
+
 def tune_batched_solver(
     hw: GpuSpec,
     num_rows: int,
@@ -153,6 +234,7 @@ def tune_batched_solver(
     padding_fraction: float | None = None,
     num_diags: int | None = None,
     dia_padding_fraction: float | None = None,
+    num_batch: int | None = None,
 ) -> TuningDecision:
     """Derive the full kernel configuration for a batched solve.
 
@@ -179,6 +261,12 @@ def tune_batched_solver(
         constant diagonals carrying entries and the fringe-padding
         fraction of the DIA bands.  Enables the gather-free DIA choice;
         omitted (the default), the ELL/CSR policy applies unchanged.
+    num_batch:
+        Number of systems in the batch.  When supplied (and the solver
+        has a pipelined sibling), :func:`choose_solver_variant` prices
+        classic vs pipelined through the sync-aware cost model and the
+        decision's shared-memory plan covers the *chosen* variant;
+        omitted, no variant choice is made (``solver_variant=None``).
     """
     check_positive(num_rows, "num_rows")
     check_positive(nnz_row_min, "nnz_row_min")
@@ -198,6 +286,22 @@ def tune_batched_solver(
     )
     rationale["format"] = why
 
+    # Classic vs pipelined: only decidable when the batch size is known —
+    # the sync savings are per kernel trip, the pipelined extras per
+    # system, so the break-even point is a batch size.
+    solver_variant: str | None = None
+    plan_solver = solver
+    if num_batch is not None:
+        stored = nnz_row_max * num_rows
+        nnz = max(int(round((1.0 - padding_fraction) * stored)), num_rows)
+        solver_variant, why = choose_solver_variant(
+            hw, fmt, num_rows, nnz, num_batch, solver=solver,
+            stored_nnz=stored if fmt in ("ell", "dia") else None,
+            value_bytes=value_bytes,
+        )
+        rationale["solver_variant"] = why
+        plan_solver = solver_variant
+
     # Threads proportional to the system size, warp-granular, capped.
     rows_per_thread = max(1, math.ceil(num_rows / MAX_THREADS_PER_BLOCK))
     lanes = math.ceil(num_rows / rows_per_thread)
@@ -214,7 +318,7 @@ def tune_batched_solver(
     # finally to none (the kernel then streams through global memory).
     budget = hw.shared_budget_per_block()
     storage = plan_storage(
-        solver_vector_specs(solver, gmres_restart=gmres_restart),
+        solver_vector_specs(plan_solver, gmres_restart=gmres_restart),
         num_rows, budget, value_bytes=value_bytes,
     )
     if storage.num_shared == 0 and budget > 0:
@@ -258,6 +362,7 @@ def tune_batched_solver(
         occupancy=occ,
         fused_kernel=fused,
         rationale=rationale,
+        solver_variant=solver_variant,
     )
 
 
@@ -268,6 +373,7 @@ def tune_for_matrix(
     solver: str = "bicgstab",
     gmres_restart: int = 30,
     value_bytes: int | None = None,
+    num_batch: int | None = None,
 ) -> TuningDecision:
     """Tune directly from a batch matrix (inspects its pattern).
 
@@ -277,7 +383,9 @@ def tune_for_matrix(
     here, where the dimension-only entry point would still pick ELL.
     ``value_bytes`` defaults to the matrix's own value size, so an fp32
     batch gets the fp32 shared-memory plan (twice the vector capacity)
-    without any extra argument.
+    without any extra argument.  ``num_batch`` defaults to the matrix's
+    own batch size, enabling the classic-vs-pipelined variant choice;
+    pass ``0`` to suppress it.
     """
     import numpy as np
 
@@ -298,8 +406,11 @@ def tune_for_matrix(
     offsets = np.unique(csr.col_idxs.astype(np.int64) - rows)
     num_diags = int(offsets.size)
     dia_padding = 1.0 - csr.nnz_per_system / (num_diags * csr.num_rows)
+    if num_batch is None:
+        num_batch = int(getattr(csr, "num_batch", 0))
     return tune_batched_solver(
         hw, csr.num_rows, lo, hi, solver=solver, gmres_restart=gmres_restart,
         value_bytes=value_bytes, padding_fraction=padding,
         num_diags=num_diags, dia_padding_fraction=dia_padding,
+        num_batch=num_batch or None,
     )

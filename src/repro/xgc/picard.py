@@ -26,7 +26,8 @@ import numpy as np
 
 from ..core.faults import derive_health, worst_health
 from ..core.logging_ import BatchLogger
-from ..core.solvers import BatchBicgstab, EscalationSolver, RefinementSolver
+from ..core.solvers import EscalationSolver, RefinementSolver, make_solver
+from ..core.solvers.schedule import iterative_solver_names
 from ..core.stop import AbsoluteResidual, RelativeResidual
 from ..core.workspace import SolverWorkspace
 from ..utils.validation import check_in, check_positive
@@ -50,6 +51,14 @@ class PicardOptions:
     ----------
     num_iterations:
         Picard iterations per time step (paper: 5).
+    solver:
+        Which batched iterative solver runs the inner linear solves:
+        any name with a declared operation schedule (``"bicgstab"``,
+        the paper's production choice and the default; its sync-avoiding
+        sibling ``"pipelined_bicgstab"``; ``"cgs"``, ``"gmres"``,
+        ``"richardson"``; the SPD-only ``"cg"`` / ``"pipelined_cg"`` are
+        accepted but the collision matrices are nonsymmetric — caveat
+        emptor).  The default is bit-identical to earlier releases.
     warm_start:
         Use the previous Picard iterate as initial guess of each linear
         solve (paper default; switch off to reproduce the zero-guess
@@ -102,6 +111,7 @@ class PicardOptions:
     """
 
     num_iterations: int = 5
+    solver: str = "bicgstab"
     warm_start: bool = True
     linear_tol: float = 1e-10
     max_linear_iter: int = 500
@@ -116,6 +126,7 @@ class PicardOptions:
 
     def __post_init__(self) -> None:
         check_positive(self.num_iterations, "num_iterations")
+        check_in(self.solver, iterative_solver_names(), "solver")
         check_positive(self.linear_tol, "linear_tol")
         check_positive(self.max_linear_iter, "max_linear_iter")
         check_in(self.matrix_format, ("ell", "csr", "dia"), "matrix_format")
@@ -209,7 +220,8 @@ class PicardStepper:
         self.options = options or PicardOptions()
         self.stencil = stencil or CollisionStencil(grid)
         if self.options.precision == "fp64":
-            self._solver = BatchBicgstab(
+            self._solver = make_solver(
+                self.options.solver,
                 preconditioner=self.options.preconditioner,
                 criterion=AbsoluteResidual(self.options.linear_tol),
                 max_iter=self.options.max_linear_iter,
@@ -220,7 +232,8 @@ class PicardStepper:
             # Low-precision inner sweeps + fp64 outer correction: the
             # refined solution meets linear_tol against the true double
             # residual, so conservation behaves as in the fp64 run.
-            inner = BatchBicgstab(
+            inner = make_solver(
+                self.options.solver,
                 preconditioner=self.options.preconditioner,
                 criterion=RelativeResidual(1e-4),
                 max_iter=self.options.max_linear_iter,

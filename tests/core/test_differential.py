@@ -29,8 +29,8 @@ from repro.utils import FaultInjector, FaultSpec
 
 TOL = 1e-10
 # Solvers whose convergence theory covers nonsymmetric dominant systems.
-GENERAL_SOLVERS = ["bicgstab", "cgs", "gmres", "richardson", "refinement",
-                   "escalation"]
+GENERAL_SOLVERS = ["bicgstab", "pipelined_bicgstab", "cgs", "gmres",
+                   "richardson", "refinement", "escalation"]
 
 
 def dominant_dense(rng, nb=6, n=28, density=0.25, spd=False):
@@ -102,7 +102,7 @@ class TestAgainstReferences:
     def test_registry_is_covered(self):
         """Every registered solver name appears in one of the suites below
         — a new registration without a differential pin fails here."""
-        assert set(_SOLVERS) == set(GENERAL_SOLVERS) | {"cg"}
+        assert set(_SOLVERS) == set(GENERAL_SOLVERS) | {"cg", "pipelined_cg"}
 
     @pytest.mark.parametrize("name", GENERAL_SOLVERS)
     @pytest.mark.parametrize("fmt", ["csr", "ell", "dia"])
@@ -115,11 +115,12 @@ class TestAgainstReferences:
         assert res.converged.all()
         np.testing.assert_allclose(res.x, ref, rtol=1e-6, atol=1e-8)
 
-    def test_cg_spd_batch_matches_scipy(self, rng):
+    @pytest.mark.parametrize("name", ["cg", "pipelined_cg"])
+    def test_cg_spd_batch_matches_scipy(self, rng, name):
         dense = dominant_dense(rng, spd=True)
         b = rng.standard_normal(dense.shape[:2])
         ref = reference_solutions(dense, b)
-        res = build("cg").solve(BatchCsr.from_dense(dense), b)
+        res = build(name).solve(BatchCsr.from_dense(dense), b)
         assert res.converged.all()
         np.testing.assert_allclose(res.x, ref, rtol=1e-6, atol=1e-8)
 
@@ -162,7 +163,9 @@ class TestBlastRadiusIsolation:
     ]
 
     @pytest.mark.parametrize("spec", KINDS, ids=lambda s: s.kind)
-    @pytest.mark.parametrize("name", ["bicgstab", "gmres", "cgs", "richardson"])
+    @pytest.mark.parametrize(
+        "name", ["bicgstab", "pipelined_bicgstab", "gmres", "cgs", "richardson"]
+    )
     def test_healthy_lanes_bit_identical(self, rng, name, spec):
         dense = contraction_dense(rng)
         b = rng.standard_normal(dense.shape[:2])

@@ -26,7 +26,12 @@ from repro.core.solvers.schedule import (
 from repro.core.stop import AbsoluteResidual
 from repro.core.workspace import solver_vector_specs
 
-SOLVERS = ("bicgstab", "cg", "cgs", "gmres", "richardson")
+SOLVERS = ("bicgstab", "cg", "cgs", "gmres", "pipelined_bicgstab",
+           "pipelined_cg", "richardson")
+# Solvers present in the golden file (frozen with the seed implementation;
+# the pipelined variants postdate it and are pinned differentially instead).
+GOLDEN_SOLVERS = ("bicgstab", "cg", "cgs", "gmres", "richardson")
+SPD_ONLY = ("cg", "pipelined_cg")
 
 GOLDEN = Path(__file__).parent.parent / "data" / "golden_solvers_n992.json"
 
@@ -108,13 +113,70 @@ class TestRegistry:
                 assert spec.touches > 0.0
 
 
+class TestSyncAccounting:
+    """The pipelined reorganisation's whole point, pinned exactly: per
+    steady-state iteration, reduction-round (sync) and dots-only round
+    counts of the pipelined variants vs their classic counterparts."""
+
+    def test_pipelined_cg_single_round(self):
+        classic = solver_schedule("cg")
+        pipelined = solver_schedule("pipelined_cg")
+        assert pipelined.dot_rounds == 1.0
+        assert classic.dot_rounds == 2.0
+        assert pipelined.syncs == 1.0
+        # Classic CG: p.Ap round, ||r|| round, r.z round.
+        assert classic.syncs == 3.0
+
+    def test_pipelined_bicgstab_two_rounds(self):
+        classic = solver_schedule("bicgstab")
+        pipelined = solver_schedule("pipelined_bicgstab")
+        assert pipelined.syncs == 2.0
+        # Classic hot loop after fusing (t.s, t.t): rho, alpha-den, ||s||,
+        # omega pair, ||r|| — five rounds (six in the unfused textbook
+        # formulation, where the omega dots are separate).
+        assert classic.syncs == 5.0
+        assert pipelined.syncs < classic.syncs
+
+    def test_syncs_bound_dot_and_norm_rounds(self):
+        """Each sync is at least one reduction round; a schedule can never
+        declare more dots+norms rounds than syncs, nor fewer rounds than
+        the fused accounting implies (dots can share a round, norms and
+        bare dots cannot exceed the declared total)."""
+        for name in SOLVERS:
+            sched = solver_schedule(name)
+            assert sched.syncs >= sched.dot_rounds
+            assert sched.syncs <= sched.dots + sched.norms
+            assert sched.dot_rounds <= sched.dots
+
+    @pytest.mark.parametrize(
+        "name,rounds", [("cg", 3.0), ("pipelined_cg", 1.0),
+                        ("bicgstab", 5.0), ("pipelined_bicgstab", 2.0)]
+    )
+    def test_measured_marginal_rounds_per_iteration(self, name, rounds):
+        """Measured reduction rounds (a fused_dots call = one round,
+        regardless of how many dots it carries): one extra trip costs
+        exactly the declared per-iteration sync count.  Trip counts are
+        chosen off the pipelined-CG replacement period so the marginal
+        trip is a plain one."""
+        matrix = make_batch(spd=(name in SPD_ONLY))
+        b = rhs_for(matrix)
+        c5, s5, _ = measure_op_counts(
+            build_solver(name, tol=1e-30, max_iter=5), matrix, b
+        )
+        c6, s6, _ = measure_op_counts(
+            build_solver(name, tol=1e-30, max_iter=6), matrix, b
+        )
+        assert (s5.trips, s6.trips) == (5, 6)
+        assert c6.syncs - c5.syncs == rounds
+
+
 class TestConformance:
     """Measured kernel invocations equal the declared totals, exactly."""
 
     @pytest.mark.parametrize("name", SOLVERS)
     def test_fixed_trip_count_exact(self, name):
         """Unreachable tolerance: every solver runs all max_iter trips."""
-        matrix = make_batch(spd=(name == "cg"))
+        matrix = make_batch(spd=(name in SPD_ONLY))
         solver = build_solver(name, tol=1e-30, max_iter=7)
         counts, stats, result = measure_op_counts(solver, matrix, rhs_for(matrix))
         assert stats.trips == 7
@@ -125,7 +187,7 @@ class TestConformance:
     def test_convergent_run_exact(self, name):
         """Early exit, verify-and-freeze, and the skipped tail are all
         predicted by the schedule."""
-        matrix = make_batch(spd=(name == "cg"))
+        matrix = make_batch(spd=(name in SPD_ONLY))
         solver = build_solver(name, tol=1e-10, max_iter=300)
         counts, stats, result = measure_op_counts(solver, matrix, rhs_for(matrix))
         assert result.converged.all()
@@ -135,7 +197,7 @@ class TestConformance:
     def test_staggered_convergence_exact(self, name):
         """Systems freezing at very different iterations (repeated verify
         events) keep the counts exact."""
-        matrix = make_batch(num_batch=12, stagger=True, spd=(name == "cg"))
+        matrix = make_batch(num_batch=12, stagger=True, spd=(name in SPD_ONLY))
         solver = build_solver(
             name, tol=1e-10, max_iter=300, compact_threshold=None,
             **({"restart": 5} if name == "gmres" else {}),
@@ -149,7 +211,7 @@ class TestConformance:
     def test_compaction_preserves_counts_and_results(self, name):
         """Active-batch compaction changes kernel *sizes*, never kernel
         *counts* — and stays bit-identical per system."""
-        matrix = make_batch(num_batch=12, stagger=True, spd=(name == "cg"))
+        matrix = make_batch(num_batch=12, stagger=True, spd=(name in SPD_ONLY))
         b = rhs_for(matrix)
         extra = {"restart": 5} if name == "gmres" else {}
         plain = build_solver(name, max_iter=300, compact_threshold=None, **extra)
@@ -191,7 +253,7 @@ class TestGoldenParity:
     def problem(self, paper_app):
         return paper_app.build_matrices()
 
-    @pytest.mark.parametrize("name", SOLVERS)
+    @pytest.mark.parametrize("name", GOLDEN_SOLVERS)
     def test_bit_identical_to_seed(self, name, golden, problem):
         meta = golden["meta"]
         matrix, f = problem

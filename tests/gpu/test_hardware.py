@@ -41,6 +41,20 @@ class TestTableI:
     def test_gpus_tuple(self):
         assert GPUS == (V100, A100, MI100)
 
+    def test_sync_latency_calibration(self):
+        """Per-round grid-sync cost: NVIDIA cooperative-groups latencies,
+        MI100 higher (software grid sync) — the constants the pipelined
+        crossover model rests on."""
+        assert V100.sync_latency_us == 4.0
+        assert A100.sync_latency_us == 3.0
+        assert MI100.sync_latency_us == 5.0
+        generic = GpuSpec(
+            name="x", peak_fp64_tflops=1.0, mem_bw_gbs=100.0,
+            l1_shared_per_cu_kib=64, l2_mib=4.0, num_cus=10, warp_size=32,
+            max_shared_per_block_kib=48, scheduling="flexible",
+        )
+        assert generic.sync_latency_us == 4.0
+
 
 class TestDerived:
     def test_per_cu_peak(self):

@@ -161,6 +161,82 @@ class TestSolverSpecificEstimates:
         assert est.storage.num_vectors == 13  # 11 basis + r + x
 
 
+class TestSyncAwareBilling:
+    """The pipelined claim: reduction rounds are a per-iteration latency
+    the batch size cannot amortize, so collapsing them must show up."""
+
+    def test_sync_time_populated(self):
+        est = estimate_iterative_solve(
+            A100, "ell", N, NNZ, mixed_iterations(240), stored_nnz=STORED_ELL
+        )
+        assert est.sync_s > 0.0
+        assert est.total_time_s > est.sync_s
+
+    def test_pipelined_bicgstab_cheaper_at_equal_iterations(self):
+        """Same iteration counts, 5 -> 2 reduction rounds: the pipelined
+        estimate must win on every GPU (it touches the same vectors)."""
+        its = mixed_iterations(240)
+        for hw in GPUS:
+            t_classic = estimate_iterative_solve(
+                hw, "ell", N, NNZ, its, stored_nnz=STORED_ELL,
+                solver="bicgstab",
+            ).total_time_s
+            t_pipe = estimate_iterative_solve(
+                hw, "ell", N, NNZ, its, stored_nnz=STORED_ELL,
+                solver="pipelined_bicgstab",
+            ).total_time_s
+            assert t_pipe < t_classic, hw.name
+
+    def test_sync_cost_constant_in_batch(self):
+        """The sync term prices iteration-rate latency, not throughput:
+        it must not grow with the batch (same max iteration count)."""
+        small = estimate_iterative_solve(
+            V100, "ell", N, NNZ, mixed_iterations(120), stored_nnz=STORED_ELL
+        )
+        large = estimate_iterative_solve(
+            V100, "ell", N, NNZ, mixed_iterations(3840), stored_nnz=STORED_ELL
+        )
+        assert small.sync_s == large.sync_s
+
+    def test_pipelined_cg_crossover_exists(self):
+        """Pipelined CG pays periodic residual-replacement SpMVs for its
+        single reduction round; with enough systems the extra bandwidth
+        outgrows the constant sync savings — the modelled crossover the
+        tuner exploits."""
+        its_small = np.full(120, 32.0)
+        its_large = np.full(3840, 32.0)
+        def t(solver, its):
+            return estimate_iterative_solve(
+                V100, "ell", N, NNZ, its, stored_nnz=STORED_ELL, solver=solver
+            ).total_time_s
+        assert t("pipelined_cg", its_small) < t("cg", its_small)
+        assert t("pipelined_cg", its_large) > t("cg", its_large)
+
+    def test_unfused_pays_per_kernel_launch(self):
+        """fused=False bills one launch per fused group per trip instead
+        of a single graph launch — strictly more expensive, and more so
+        for the launch-heavier solver."""
+        its = mixed_iterations(240)
+        fused = estimate_iterative_solve(
+            A100, "ell", N, NNZ, its, stored_nnz=STORED_ELL
+        ).total_time_s
+        unfused = estimate_iterative_solve(
+            A100, "ell", N, NNZ, its, stored_nnz=STORED_ELL, fused=False
+        ).total_time_s
+        assert unfused > fused
+        gap_richardson = (
+            estimate_iterative_solve(
+                A100, "ell", N, NNZ, its, stored_nnz=STORED_ELL,
+                solver="richardson", fused=False,
+            ).total_time_s
+            - estimate_iterative_solve(
+                A100, "ell", N, NNZ, its, stored_nnz=STORED_ELL,
+                solver="richardson",
+            ).total_time_s
+        )
+        assert (unfused - fused) > gap_richardson
+
+
 class TestBaselineModels:
     def test_qr_not_competitive(self):
         """Fig. 6: the batched direct QR is ~10-30x slower than BiCGSTAB

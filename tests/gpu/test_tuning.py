@@ -3,7 +3,15 @@
 import pytest
 
 from repro.core import BatchCsr
-from repro.gpu import A100, MI100, V100, tune_batched_solver, tune_for_matrix
+from repro.gpu import (
+    A100,
+    GPUS,
+    MI100,
+    V100,
+    choose_solver_variant,
+    tune_batched_solver,
+    tune_for_matrix,
+)
 from repro.gpu.tuning import FUSED_ROW_LIMIT, MAX_THREADS_PER_BLOCK
 
 import numpy as np
@@ -133,6 +141,60 @@ class TestKernelPath:
     def test_large_systems_use_component_kernels(self):
         d = tune_batched_solver(V100, FUSED_ROW_LIMIT + 1, 9, 9)
         assert not d.fused_kernel
+
+
+class TestSolverVariant:
+    """The sync-aware classic-vs-pipelined choice (n=992 stencil sizes)."""
+
+    N, NNZ, STORED = 992, 8832, 8928
+
+    def choose(self, hw, nb, solver="cg"):
+        return choose_solver_variant(
+            hw, "ell", self.N, self.NNZ, nb,
+            solver=solver, stored_nnz=self.STORED,
+        )
+
+    def test_small_batch_selects_pipelined_cg_everywhere(self):
+        for hw in GPUS:
+            name, why = self.choose(hw, 120)
+            assert name == "pipelined_cg", hw.name
+            assert "reduction" in why
+
+    def test_large_batch_reverts_to_classic_cg(self):
+        """The residual-replacement SpMVs scale with the batch while the
+        sync savings do not: classic CG wins back the big batches."""
+        name, why = self.choose(V100, 3840)
+        assert name == "cg"
+        assert "batch" in why
+
+    def test_bicgstab_pipelined_at_every_batch(self):
+        """No replacement cycle, same vector set: collapsing 5 rounds to
+        2 is a pure win in the model."""
+        for nb in (120, 3840):
+            name, _ = self.choose(A100, nb, solver="bicgstab")
+            assert name == "pipelined_bicgstab"
+
+    def test_non_variant_solver_unchanged(self):
+        name, why = self.choose(V100, 120, solver="gmres")
+        assert name == "gmres"
+        assert "no pipelined variant" in why
+
+    def test_tune_for_matrix_picks_pipelined_at_small_batch(self, paper_app):
+        matrix, _ = paper_app.build_matrices()
+        d = tune_for_matrix(V100, matrix, solver="bicgstab")
+        assert d.solver_variant == "pipelined_bicgstab"
+        assert "solver_variant" in d.rationale
+        # Storage is planned for the chosen variant's vector set.
+        assert d.storage.num_vectors >= 9
+
+    def test_tune_batched_solver_without_batch_size_skips_variant(self):
+        d = tune_batched_solver(V100, 992, 9, 9)
+        assert d.solver_variant is None
+        assert "solver_variant" not in d.rationale
+
+    def test_explicit_large_batch_keeps_classic_cg(self):
+        d = tune_batched_solver(V100, 992, 9, 9, solver="cg", num_batch=3840)
+        assert d.solver_variant == "cg"
 
 
 class TestTuneForMatrix:

@@ -42,8 +42,9 @@ Quickstart
 True
 """
 
-from . import core, dist, experiments, gpu, utils, xgc
+from . import core, dist, experiments, gpu, tune, utils, xgc
 
 __version__ = "1.0.0"
 
-__all__ = ["core", "xgc", "gpu", "dist", "utils", "experiments", "__version__"]
+__all__ = ["core", "xgc", "gpu", "dist", "utils", "experiments", "tune",
+           "__version__"]

@@ -32,6 +32,7 @@ from __future__ import annotations
 
 from contextlib import contextmanager
 from dataclasses import dataclass, field
+from functools import lru_cache
 
 import numpy as np
 
@@ -456,6 +457,7 @@ def iterative_solver_names() -> tuple[str, ...]:
     return tuple(sorted([*_FIXED_SCHEDULES, "gmres"]))
 
 
+@lru_cache(maxsize=None)
 def solver_schedule(solver: str, *, gmres_restart: int = 30) -> OpSchedule:
     """The declared :class:`OpSchedule` of a named solver.
 
@@ -463,6 +465,11 @@ def solver_schedule(solver: str, *, gmres_restart: int = 30) -> OpSchedule:
     ``m + 1`` SpMV-operand vectors and the cycle work amortises over ``m``
     iterations.  Unknown names raise ``ValueError`` — the GPU model must
     never silently fall back to BiCGSTAB's numbers.
+
+    Schedules are frozen value objects, so the registry is memoized:
+    repeated lookups (the autotuning gym prices thousands of configs, each
+    needing a schedule) return the same shared instance instead of
+    rebuilding the dataclass every call.
     """
     if solver == "gmres":
         return _gmres_schedule(gmres_restart)

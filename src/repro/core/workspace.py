@@ -82,9 +82,13 @@ def solver_vector_specs(solver: str, *, gmres_restart: int = 30) -> tuple[Vector
     return solver_schedule(solver, gmres_restart=gmres_restart).vectors
 
 
-@dataclass
+@dataclass(frozen=True)
 class StorageConfig:
     """Outcome of the shared-memory placement decision for one kernel.
+
+    Frozen (and therefore hashable): placements are value objects, cached
+    by the GPU model's memoized work builders and embedded in hashable
+    :class:`~repro.gpu.tuning.TuningDecision` records.
 
     Attributes
     ----------
@@ -105,6 +109,27 @@ class StorageConfig:
     vector_bytes: int
     shared_bytes_used: int
     budget_bytes: int
+
+    def to_dict(self) -> dict:
+        """JSON-ready representation (stable key order, plain types)."""
+        return {
+            "shared_vectors": list(self.shared_vectors),
+            "global_vectors": list(self.global_vectors),
+            "vector_bytes": int(self.vector_bytes),
+            "shared_bytes_used": int(self.shared_bytes_used),
+            "budget_bytes": int(self.budget_bytes),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "StorageConfig":
+        """Inverse of :meth:`to_dict` (exact round-trip)."""
+        return cls(
+            shared_vectors=tuple(data["shared_vectors"]),
+            global_vectors=tuple(data["global_vectors"]),
+            vector_bytes=int(data["vector_bytes"]),
+            shared_bytes_used=int(data["shared_bytes_used"]),
+            budget_bytes=int(data["budget_bytes"]),
+        )
 
     @property
     def num_shared(self) -> int:

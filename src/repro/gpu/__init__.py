@@ -44,8 +44,10 @@ from .timing import (
 from .tuning import (
     TuningDecision,
     choose_solver_variant,
+    decision_for_config,
     tune_batched_solver,
     tune_for_matrix,
+    variant_estimates,
 )
 from .warp import (
     csr_spmv_utilization,
@@ -87,8 +89,10 @@ __all__ = [
     "estimate_dense_lu",
     "TuningDecision",
     "choose_solver_variant",
+    "decision_for_config",
     "tune_batched_solver",
     "tune_for_matrix",
+    "variant_estimates",
     "CpuSolveEstimate",
     "estimate_cpu_dgbsv",
     "estimate_cpu_iterative",

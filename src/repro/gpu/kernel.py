@@ -19,6 +19,7 @@ Streams are kept separate because they hit different memory levels:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 
 from ..core.solvers.schedule import OpSchedule, solver_schedule
 from ..core.workspace import StorageConfig, plan_storage, solver_vector_specs
@@ -91,6 +92,7 @@ class KernelWork:
         )
 
 
+@lru_cache(maxsize=4096)
 def spmv_work(
     num_rows: int,
     nnz: int,
@@ -169,6 +171,7 @@ def kernel_launches(
     )
 
 
+@lru_cache(maxsize=4096)
 def storage_for_solver(
     solver: str,
     num_rows: int,
@@ -192,6 +195,7 @@ def storage_for_solver(
     )
 
 
+@lru_cache(maxsize=4096)
 def iteration_work(
     schedule: OpSchedule,
     num_rows: int,
@@ -211,6 +215,12 @@ def iteration_work(
     traffic is charged only for the vectors the §IV-D placement spilled —
     each pays its *declared* per-iteration touches in HBM passes, not a
     flat per-solver constant.
+
+    Memoized: schedules, placements and :class:`KernelWork` are all frozen
+    value objects, and the autotuning gym re-prices the same
+    (solver, format, precision) spec thousands of times — rebuilding the
+    work record on every :func:`~repro.gpu.timing.estimate_iterative_solve`
+    call was a measured hot path.
     """
     n = num_rows
     spmv = spmv_work(n, nnz, fmt, stored_nnz=stored_nnz, value_bytes=value_bytes)
@@ -241,6 +251,7 @@ def iteration_work(
     )
 
 
+@lru_cache(maxsize=4096)
 def setup_work(
     schedule: OpSchedule,
     num_rows: int,

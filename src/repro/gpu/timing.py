@@ -141,6 +141,7 @@ def estimate_iterative_solve(
     gmres_restart: int = 30,
     value_bytes: int = 8,
     fused: bool = True,
+    shared_budget_bytes: int | None = None,
 ) -> GpuSolveEstimate:
     """Model the fused batched iterative solve.
 
@@ -178,13 +179,20 @@ def estimate_iterative_solve(
         implementation that launches every fused kernel group of the
         schedule separately, paying ``launch_overhead_us`` per component
         kernel per iteration.
+    shared_budget_bytes:
+        Per-block dynamic shared-memory budget for the §IV-D placement.
+        Defaults to ``hw.shared_budget_per_block()`` (the hardware's
+        default residency target); the autotuning gym passes the budgets
+        of other residency targets to price the occupancy-vs-spill trade.
     """
     iterations = np.asarray(iterations, dtype=np.float64)
     num_batch = iterations.shape[0]
 
+    if shared_budget_bytes is None:
+        shared_budget_bytes = hw.shared_budget_per_block()
     schedule = solver_schedule(solver, gmres_restart=gmres_restart)
     storage = storage_for_solver(
-        solver, num_rows, hw.shared_budget_per_block(),
+        solver, num_rows, int(shared_budget_bytes),
         gmres_restart=gmres_restart, value_bytes=value_bytes,
     )
     occ = compute_occupancy(hw, storage.shared_bytes_used, num_rows)

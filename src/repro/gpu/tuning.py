@@ -41,8 +41,10 @@ from .occupancy import Occupancy, compute_occupancy
 __all__ = [
     "TuningDecision",
     "choose_solver_variant",
+    "decision_for_config",
     "tune_batched_solver",
     "tune_for_matrix",
+    "variant_estimates",
 ]
 
 #: Hardware thread cap per block (uniform across the modelled GPUs).
@@ -77,6 +79,13 @@ VARIANT_MODEL_ITERATIONS = 32
 class TuningDecision:
     """Outcome of the automatic configuration.
 
+    Hashable value object: ``rationale`` (free-form provenance text) is
+    excluded from equality and hashing, so two decisions reached by
+    different routes — hand rules vs a searched policy — compare equal
+    exactly when they configure the same kernel.  ``to_dict`` /
+    ``from_dict`` round-trip deterministically for policy files and
+    trajectory logs.
+
     Attributes
     ----------
     fmt:
@@ -94,7 +103,7 @@ class TuningDecision:
         Whether the single-kernel (whole solve in one launch) path is
         selected.
     rationale:
-        Human-readable reasons, keyed by decision.
+        Human-readable reasons, keyed by decision (not compared/hashed).
     solver_variant:
         The solver actually configured: the requested solver, or its
         pipelined sibling when the batch size was supplied and the
@@ -109,8 +118,35 @@ class TuningDecision:
     storage: StorageConfig
     occupancy: Occupancy
     fused_kernel: bool
-    rationale: dict = field(default_factory=dict)
+    rationale: dict = field(default_factory=dict, compare=False)
     solver_variant: str | None = None
+
+    def to_dict(self) -> dict:
+        """JSON-ready representation with a stable schema."""
+        return {
+            "fmt": self.fmt,
+            "threads_per_block": int(self.threads_per_block),
+            "rows_per_thread": int(self.rows_per_thread),
+            "storage": self.storage.to_dict(),
+            "occupancy": self.occupancy.to_dict(),
+            "fused_kernel": bool(self.fused_kernel),
+            "rationale": dict(self.rationale),
+            "solver_variant": self.solver_variant,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "TuningDecision":
+        """Inverse of :meth:`to_dict`: round-trips to an equal decision."""
+        return cls(
+            fmt=data["fmt"],
+            threads_per_block=int(data["threads_per_block"]),
+            rows_per_thread=int(data["rows_per_thread"]),
+            storage=StorageConfig.from_dict(data["storage"]),
+            occupancy=Occupancy.from_dict(data["occupancy"]),
+            fused_kernel=bool(data["fused_kernel"]),
+            rationale=dict(data.get("rationale", {})),
+            solver_variant=data.get("solver_variant"),
+        )
 
 
 def _choose_format(
@@ -161,6 +197,52 @@ def _choose_format(
     )
 
 
+def variant_estimates(
+    hw: GpuSpec,
+    fmt: str,
+    num_rows: int,
+    nnz: int,
+    iterations_by_solver,
+    *,
+    num_batch: int | None = None,
+    stored_nnz: int | None = None,
+    preconditioner: str = "jacobi",
+    gmres_restart: int = 30,
+    value_bytes: int = 8,
+    shared_budget_bytes: int | None = None,
+):
+    """Modeled cost of *each* candidate solver, not just the winner.
+
+    ``iterations_by_solver`` maps solver names to their per-system
+    iteration counts — an array, or a scalar expanded to ``num_batch``
+    systems.  Returns ``{solver: GpuSolveEstimate}`` so every consumer of
+    the classic-vs-pipelined trade (:func:`choose_solver_variant`, the
+    fig6 crossover inset, the autotuning gym's evaluation harness) reads
+    the *same* modeled numbers instead of re-deriving them.
+    """
+    import numpy as np
+
+    from .timing import estimate_iterative_solve
+
+    out = {}
+    for name, iters in iterations_by_solver.items():
+        arr = np.asarray(iters, dtype=np.float64)
+        if arr.ndim == 0:
+            if num_batch is None:
+                raise ValueError(
+                    "scalar iteration counts need num_batch to expand to"
+                )
+            check_positive(num_batch, "num_batch")
+            arr = np.full(num_batch, float(arr))
+        out[name] = estimate_iterative_solve(
+            hw, fmt, num_rows, nnz, arr,
+            stored_nnz=stored_nnz, solver=name,
+            preconditioner=preconditioner, gmres_restart=gmres_restart,
+            value_bytes=value_bytes, shared_budget_bytes=shared_budget_bytes,
+        )
+    return out
+
+
 def choose_solver_variant(
     hw: GpuSpec,
     fmt: str,
@@ -183,27 +265,21 @@ def choose_solver_variant(
     replacement SpMVs for pipelined CG, the heavier recurrence updates)
     scale per system, so a large enough batch amortises the sync savings
     away and classic wins back.  Returns ``(chosen_solver, rationale)``;
-    solvers without a pipelined sibling are returned unchanged.
+    solvers without a pipelined sibling are returned unchanged.  The
+    underlying per-variant estimates come from :func:`variant_estimates`.
     """
-    import numpy as np
-
     check_positive(num_batch, "num_batch")
     pipelined = PIPELINED_VARIANTS.get(solver)
     if pipelined is None:
         return solver, (
             f"{solver} has no pipelined variant: keeping the requested solver"
         )
-    from .timing import estimate_iterative_solve
-
-    iters = np.full(num_batch, float(iterations))
-    est = {
-        name: estimate_iterative_solve(
-            hw, fmt, num_rows, nnz, iters,
-            stored_nnz=stored_nnz, solver=name,
-            preconditioner=preconditioner, value_bytes=value_bytes,
-        )
-        for name in (solver, pipelined)
-    }
+    est = variant_estimates(
+        hw, fmt, num_rows, nnz,
+        {name: float(iterations) for name in (solver, pipelined)},
+        num_batch=num_batch, stored_nnz=stored_nnz,
+        preconditioner=preconditioner, value_bytes=value_bytes,
+    )
     t_classic = est[solver].total_time_s
     t_pipe = est[pipelined].total_time_s
     saved_sync_us = (est[solver].sync_s - est[pipelined].sync_s) * 1e6
@@ -220,6 +296,20 @@ def choose_solver_variant(
         "the batch is large enough that the per-system pipelined extras "
         f"outweigh the {saved_sync_us:.0f} us of reduction-round savings"
     )
+
+
+def _thread_plan(hw: GpuSpec, num_rows: int) -> tuple[int, int, str]:
+    """Block size and rows-per-thread for one system (warp-granular)."""
+    rows_per_thread = max(1, math.ceil(num_rows / MAX_THREADS_PER_BLOCK))
+    lanes = math.ceil(num_rows / rows_per_thread)
+    threads = min(
+        math.ceil(lanes / hw.warp_size) * hw.warp_size, MAX_THREADS_PER_BLOCK
+    )
+    why = (
+        f"{threads} threads ({threads // hw.warp_size} warps) for "
+        f"{num_rows} rows, {rows_per_thread} row(s) per thread"
+    )
+    return threads, rows_per_thread, why
 
 
 def tune_batched_solver(
@@ -303,15 +393,8 @@ def tune_batched_solver(
         plan_solver = solver_variant
 
     # Threads proportional to the system size, warp-granular, capped.
-    rows_per_thread = max(1, math.ceil(num_rows / MAX_THREADS_PER_BLOCK))
-    lanes = math.ceil(num_rows / rows_per_thread)
-    threads = min(
-        math.ceil(lanes / hw.warp_size) * hw.warp_size, MAX_THREADS_PER_BLOCK
-    )
-    rationale["threads"] = (
-        f"{threads} threads ({threads // hw.warp_size} warps) for "
-        f"{num_rows} rows, {rows_per_thread} row(s) per thread"
-    )
+    threads, rows_per_thread, why = _thread_plan(hw, num_rows)
+    rationale["threads"] = why
 
     # Shared memory: the §IV-D placement under the residency budget; if
     # even the SpMV vectors don't fit, fall back to a single vector and
@@ -366,6 +449,69 @@ def tune_batched_solver(
     )
 
 
+def decision_for_config(
+    hw: GpuSpec,
+    config,
+    num_rows: int,
+    *,
+    provenance: str = "policy",
+) -> TuningDecision:
+    """Materialise a searched configuration into a :class:`TuningDecision`.
+
+    ``config`` is any object with the autotuning gym's configuration
+    attributes (:class:`repro.tune.TuneConfig`, duck-typed so this layer
+    stays independent of :mod:`repro.tune`): ``solver``, ``fmt``,
+    ``value_bytes``, ``gmres_restart``, ``target_blocks_per_cu`` and
+    ``compaction_threshold``.  The kernel geometry that is *not* searched
+    (thread sizing, fused-vs-component path) follows the same rules as
+    :func:`tune_batched_solver`; the searched knobs — format, solver
+    variant, precision, shared-memory residency — come from the config.
+    """
+    check_positive(num_rows, "num_rows")
+    threads, rows_per_thread, thread_why = _thread_plan(hw, num_rows)
+    budget = hw.shared_budget_per_block(config.target_blocks_per_cu)
+    storage = plan_storage(
+        solver_vector_specs(config.solver, gmres_restart=config.gmres_restart),
+        num_rows, budget, value_bytes=config.value_bytes,
+    )
+    occ = compute_occupancy(hw, storage.shared_bytes_used, threads)
+    fused = num_rows <= FUSED_ROW_LIMIT
+    rationale = {
+        "policy": (
+            f"searched configuration ({provenance}): solver="
+            f"{config.solver}, format={config.fmt}, precision="
+            f"{config.precision}, {config.target_blocks_per_cu} target "
+            "block(s)/CU — selected by the autotuning gym over the GPU "
+            "cost model, not by the hand rules"
+        ),
+        "threads": thread_why,
+        "shared": (
+            f"{storage.num_shared}/{storage.num_vectors} vectors in "
+            f"{storage.shared_bytes_used} B of shared memory (searched "
+            f"residency target {config.target_blocks_per_cu} block(s)/CU, "
+            f"budget {budget} B)"
+        ),
+        "kernel": (
+            "fused single-kernel solve" if fused else "component kernels"
+        ),
+    }
+    if config.compaction_threshold:
+        rationale["compaction"] = (
+            f"re-compact the active batch below {config.compaction_threshold:.0%} "
+            "active systems"
+        )
+    return TuningDecision(
+        fmt=config.fmt,
+        threads_per_block=threads,
+        rows_per_thread=rows_per_thread,
+        storage=storage,
+        occupancy=occ,
+        fused_kernel=fused,
+        rationale=rationale,
+        solver_variant=config.solver,
+    )
+
+
 def tune_for_matrix(
     hw: GpuSpec,
     matrix,
@@ -374,6 +520,8 @@ def tune_for_matrix(
     gmres_restart: int = 30,
     value_bytes: int | None = None,
     num_batch: int | None = None,
+    policy=None,
+    scenario: str = "xgc",
 ) -> TuningDecision:
     """Tune directly from a batch matrix (inspects its pattern).
 
@@ -386,6 +534,15 @@ def tune_for_matrix(
     without any extra argument.  ``num_batch`` defaults to the matrix's
     own batch size, enabling the classic-vs-pipelined variant choice;
     pass ``0`` to suppress it.
+
+    ``policy`` is an optional searched-policy lookup (a
+    :class:`repro.tune.TuningPolicy`, anything with its ``lookup``
+    signature, or a path to a ``best_configs.json``): when it holds an
+    entry for ``(hw.name, num_rows, num_batch, scenario)``, that searched
+    configuration is materialised via :func:`decision_for_config` and the
+    hand rules below are bypassed.  With no policy (the default) or on a
+    lookup miss, the decision is **bit-identical** to the policy-free
+    path.
     """
     import numpy as np
 
@@ -398,6 +555,22 @@ def tune_for_matrix(
     nnz_row = csr.nnz_per_row()
     if nnz_row.size == 0 or nnz_row.max() == 0:
         raise ValueError("cannot tune for an empty sparsity pattern")
+    if num_batch is None:
+        num_batch = int(getattr(csr, "num_batch", 0))
+
+    if policy is not None:
+        if isinstance(policy, (str, bytes)) or hasattr(policy, "read_text"):
+            from ..tune.policy import TuningPolicy
+
+            policy = TuningPolicy.load(policy)
+        hit = policy.lookup(hw.name, csr.num_rows, num_batch, scenario)
+        if hit is not None:
+            return decision_for_config(
+                hw, hit, csr.num_rows,
+                provenance=f"policy entry for {hw.name}, n={csr.num_rows}, "
+                           f"batch={num_batch}, scenario={scenario!r}",
+            )
+
     lo = max(int(nnz_row.min()), 1)
     hi = int(nnz_row.max())
     padding = 1.0 - float(nnz_row.mean()) / hi
@@ -406,8 +579,6 @@ def tune_for_matrix(
     offsets = np.unique(csr.col_idxs.astype(np.int64) - rows)
     num_diags = int(offsets.size)
     dia_padding = 1.0 - csr.nnz_per_system / (num_diags * csr.num_rows)
-    if num_batch is None:
-        num_batch = int(getattr(csr, "num_batch", 0))
     return tune_batched_solver(
         hw, csr.num_rows, lo, hi, solver=solver, gmres_restart=gmres_restart,
         value_bytes=value_bytes, padding_fraction=padding,

@@ -1,0 +1,251 @@
+"""Search agents over the configuration space (ArchGym-style).
+
+Three agents with one contract — ``search(env, space, ...) ->
+SearchResult`` — covering the classic trade-offs:
+
+* :class:`RandomSearchAgent` — uniform i.i.d. sampling; the unbiased
+  baseline every smarter agent has to beat.
+* :class:`HillClimbAgent` — single-mutation hill climbing with an
+  optional simulated-annealing acceptance of uphill moves (temperature
+  decays geometrically), restarted from fresh samples when stuck.
+* :class:`GeneticAgent` — small steady-state GA: tournament selection,
+  uniform crossover, single-dimension mutation, elitism.
+
+Every agent draws exclusively from its own ``numpy.random.default_rng``
+seed — no global RNG, no wall clock — so a (seed, budget, space,
+environment) tuple reproduces the identical trajectory bit-for-bit.
+Agents accept a ``seed_config`` (typically the hand-rule decision mapped
+into the space): it is evaluated first, which guarantees the searched
+result is never worse than the baseline it started from.
+
+Trajectories stream to a :class:`TrajectoryLogger` (JSONL: one record
+per evaluation with the running best) for the fig-style regret plots and
+the CI artifact upload.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .env import CostModelEnv
+from .space import ConfigSpace, TuneConfig
+
+__all__ = [
+    "GeneticAgent",
+    "HillClimbAgent",
+    "RandomSearchAgent",
+    "SearchResult",
+    "TrajectoryLogger",
+]
+
+
+class TrajectoryLogger:
+    """Collects one record per evaluation; serialises to JSONL.
+
+    Each record: ``{"agent", "step", "cost", "best_cost", "config"}``.
+    """
+
+    def __init__(self):
+        self.records = []
+
+    def record(self, agent: str, step: int, config: TuneConfig,
+               cost: float, best_cost: float) -> None:
+        self.records.append({
+            "agent": agent,
+            "step": int(step),
+            "cost": float(cost),
+            "best_cost": float(best_cost),
+            "config": config.to_dict(),
+        })
+
+    def save(self, path) -> None:
+        """Write all records as JSON Lines."""
+        with open(path, "w") as fh:
+            for rec in self.records:
+                fh.write(json.dumps(rec) + "\n")
+
+    def best_curve(self, agent: str | None = None):
+        """Running-best cost per step (optionally one agent's)."""
+        return [rec["best_cost"] for rec in self.records
+                if agent is None or rec["agent"] == agent]
+
+
+@dataclass
+class SearchResult:
+    """Outcome of one agent run.
+
+    ``history`` holds ``(step, cost, config)`` per evaluation — enough
+    to recompute the regret curve without the logger.
+    """
+
+    agent: str
+    best_config: TuneConfig
+    best_cost: float
+    evaluations: int
+    history: list = field(default_factory=list)
+
+    def regret_curve(self, optimum_cost: float):
+        """Running best minus the true optimum, per evaluation."""
+        best = float("inf")
+        curve = []
+        for _, cost, _ in self.history:
+            best = min(best, cost)
+            curve.append(best - optimum_cost)
+        return curve
+
+
+class _AgentBase:
+    """Shared bookkeeping: seeded RNG, budget, logging, running best."""
+
+    name = "agent"
+
+    def __init__(self, *, budget: int = 128, seed: int = 0):
+        if budget < 1:
+            raise ValueError("budget must be >= 1")
+        self.budget = int(budget)
+        self.seed = int(seed)
+
+    def _start(self, logger):
+        self._rng = np.random.default_rng(self.seed)
+        self._logger = logger
+        self._result = SearchResult(
+            agent=self.name, best_config=None, best_cost=float("inf"),
+            evaluations=0,
+        )
+
+    def _eval(self, env: CostModelEnv, config: TuneConfig) -> float:
+        r = self._result
+        cost = env.evaluate(config)
+        r.evaluations += 1
+        if cost < r.best_cost:
+            r.best_cost, r.best_config = cost, config
+        r.history.append((r.evaluations, cost, config))
+        if self._logger is not None:
+            self._logger.record(
+                self.name, r.evaluations, config, cost, r.best_cost)
+        return cost
+
+    def _spent(self) -> bool:
+        return self._result.evaluations >= self.budget
+
+
+class RandomSearchAgent(_AgentBase):
+    """Uniform i.i.d. sampling of valid configurations."""
+
+    name = "random"
+
+    def search(self, env: CostModelEnv, space: ConfigSpace, *,
+               seed_config: TuneConfig | None = None,
+               logger: TrajectoryLogger | None = None) -> SearchResult:
+        self._start(logger)
+        if seed_config is not None:
+            self._eval(env, seed_config)
+        while not self._spent():
+            self._eval(env, space.sample(self._rng))
+        return self._result
+
+
+class HillClimbAgent(_AgentBase):
+    """Single-mutation hill climbing with simulated-annealing acceptance.
+
+    ``temperature=0`` is a pure greedy climber; otherwise uphill moves of
+    size ``d`` are accepted with probability ``exp(-d / T)`` and ``T``
+    decays by ``cooling`` per step.  After ``patience`` consecutive
+    rejected moves the climb restarts from a fresh uniform sample (the
+    running best is never forgotten).
+    """
+
+    name = "hillclimb"
+
+    def __init__(self, *, budget: int = 128, seed: int = 0,
+                 temperature: float = 0.0, cooling: float = 0.95,
+                 patience: int = 12):
+        super().__init__(budget=budget, seed=seed)
+        if temperature < 0.0:
+            raise ValueError("temperature must be >= 0")
+        self.temperature = float(temperature)
+        self.cooling = float(cooling)
+        self.patience = int(patience)
+
+    def search(self, env: CostModelEnv, space: ConfigSpace, *,
+               seed_config: TuneConfig | None = None,
+               logger: TrajectoryLogger | None = None) -> SearchResult:
+        self._start(logger)
+        current = (seed_config if seed_config is not None
+                   else space.sample(self._rng))
+        current_cost = self._eval(env, current)
+        temp = self.temperature
+        stuck = 0
+        while not self._spent():
+            candidate = space.mutate(current, self._rng)
+            cost = self._eval(env, candidate)
+            accept = cost <= current_cost
+            if not accept and temp > 0.0:
+                accept = self._rng.random() < math.exp(
+                    -(cost - current_cost) / (temp * max(current_cost, 1e-30)))
+            if accept:
+                current, current_cost = candidate, cost
+                stuck = 0
+            else:
+                stuck += 1
+                if stuck >= self.patience and not self._spent():
+                    current = space.sample(self._rng)
+                    current_cost = self._eval(env, current)
+                    stuck = 0
+            temp *= self.cooling
+        return self._result
+
+
+class GeneticAgent(_AgentBase):
+    """Small generational GA with elitism and tournament selection."""
+
+    name = "genetic"
+
+    def __init__(self, *, budget: int = 128, seed: int = 0,
+                 population: int = 12, elite: int = 2,
+                 mutation_rate: float = 0.4, tournament: int = 3):
+        super().__init__(budget=budget, seed=seed)
+        if population < 2:
+            raise ValueError("population must be >= 2")
+        self.population = int(population)
+        self.elite = max(0, min(int(elite), self.population - 1))
+        self.mutation_rate = float(mutation_rate)
+        self.tournament = max(2, int(tournament))
+
+    def _select(self, scored):
+        rng = self._rng
+        k = min(self.tournament, len(scored))
+        picks = rng.choice(len(scored), size=k, replace=False)
+        return min((scored[int(i)] for i in picks), key=lambda sc: sc[1])[0]
+
+    def search(self, env: CostModelEnv, space: ConfigSpace, *,
+               seed_config: TuneConfig | None = None,
+               logger: TrajectoryLogger | None = None) -> SearchResult:
+        self._start(logger)
+        pop = []
+        if seed_config is not None:
+            pop.append(seed_config)
+        while len(pop) < self.population:
+            pop.append(space.sample(self._rng))
+        scored = [(c, self._eval(env, c)) for c in pop[:self.budget]]
+        while not self._spent():
+            scored.sort(key=lambda sc: sc[1])
+            children = [c for c, _ in scored[:self.elite]]
+            while len(children) < self.population:
+                child = space.crossover(
+                    self._select(scored), self._select(scored), self._rng)
+                if self._rng.random() < self.mutation_rate:
+                    child = space.mutate(child, self._rng)
+                children.append(child)
+            scored = []
+            for child in children:
+                if self._spent():
+                    break
+                scored.append((child, self._eval(env, child)))
+            if not scored:
+                break
+        return self._result

@@ -1,0 +1,206 @@
+"""Distilled tuning policies: searched winners, keyed for deployment.
+
+The gym's output is not a trajectory, it is a *policy*: for every
+(hardware, system size, batch size, scenario) cell, the best
+configuration the search found — never worse than the hand-rule
+baseline, because every search is seeded with it.  The policy serialises
+to ``best_configs.json`` and :func:`repro.gpu.tuning.tune_for_matrix`
+consults it (``policy=...``) before falling back to the hand rules, so a
+production run can ship the JSON artifact without importing any of the
+search machinery.
+"""
+
+from __future__ import annotations
+
+import json
+
+from dataclasses import dataclass, field
+
+from .agents import HillClimbAgent, TrajectoryLogger
+from .env import CostModelEnv, TuneScenario
+from .space import TuneConfig, space_for_scenario
+
+__all__ = [
+    "PolicyEntry",
+    "TuningPolicy",
+    "baseline_config",
+    "distill_policy",
+]
+
+
+def baseline_config(hw, scenario: TuneScenario, num_batch: int) -> TuneConfig:
+    """Map the hand rules' decision for a scenario cell into the space.
+
+    Runs :func:`repro.gpu.tuning.tune_batched_solver` on the scenario's
+    pattern statistics and lifts the decision into a :class:`TuneConfig`:
+    the hand-rule format and solver variant, fp64 (the hand rules never
+    drop precision), the hardware's default residency target, compaction
+    off.  Seeding any agent with this config makes "searched >= hand
+    rules" true by construction on every cell.
+    """
+    from ..gpu.tuning import tune_batched_solver
+
+    decision = tune_batched_solver(
+        hw, scenario.num_rows, scenario.nnz_row_min, scenario.nnz_row_max,
+        solver="bicgstab",
+        value_bytes=8,
+        padding_fraction=scenario.padding_fraction,
+        num_diags=scenario.num_diags or None,
+        dia_padding_fraction=scenario.dia_padding_fraction,
+        num_batch=num_batch,
+    )
+    return TuneConfig(
+        solver=decision.solver_variant or "bicgstab",
+        fmt=decision.fmt,
+        precision="fp64",
+        target_blocks_per_cu=hw.target_blocks_per_cu,
+    )
+
+
+@dataclass(frozen=True)
+class PolicyEntry:
+    """One distilled cell: the winning config plus its provenance.
+
+    ``cost``/``baseline_cost`` are the modelled batch wall-clocks of the
+    searched winner and the hand-rule seed (same environment, same cost
+    model) — kept in the artifact so a reader can audit each cell's win.
+    """
+
+    hardware: str
+    num_rows: int
+    num_batch: int
+    scenario: str
+    config: TuneConfig
+    cost: float
+    baseline_cost: float
+    agent: str = "hillclimb"
+
+    def to_dict(self) -> dict:
+        return {
+            "hardware": self.hardware,
+            "num_rows": int(self.num_rows),
+            "num_batch": int(self.num_batch),
+            "scenario": self.scenario,
+            "config": self.config.to_dict(),
+            "cost": float(self.cost),
+            "baseline_cost": float(self.baseline_cost),
+            "agent": self.agent,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "PolicyEntry":
+        return cls(
+            hardware=data["hardware"],
+            num_rows=int(data["num_rows"]),
+            num_batch=int(data["num_batch"]),
+            scenario=data["scenario"],
+            config=TuneConfig.from_dict(data["config"]),
+            cost=float(data["cost"]),
+            baseline_cost=float(data["baseline_cost"]),
+            agent=data.get("agent", "unknown"),
+        )
+
+
+@dataclass
+class TuningPolicy:
+    """Lookup table of searched winners, JSON round-trippable."""
+
+    entries: dict = field(default_factory=dict)
+
+    @staticmethod
+    def key_for(hardware: str, num_rows: int, num_batch: int,
+                scenario: str) -> str:
+        """Stable cell key: ``"<hw>|n<rows>|b<batch>|<scenario>"``."""
+        return f"{hardware}|n{int(num_rows)}|b{int(num_batch)}|{scenario}"
+
+    def add(self, entry: PolicyEntry) -> None:
+        self.entries[self.key_for(
+            entry.hardware, entry.num_rows, entry.num_batch,
+            entry.scenario)] = entry
+
+    def lookup(self, hardware: str, num_rows: int, num_batch: int,
+               scenario: str) -> TuneConfig | None:
+        """The searched config for a cell, or ``None`` (→ hand rules)."""
+        entry = self.entries.get(
+            self.key_for(hardware, num_rows, num_batch, scenario))
+        return None if entry is None else entry.config
+
+    def entry(self, hardware: str, num_rows: int, num_batch: int,
+              scenario: str) -> PolicyEntry | None:
+        """The full cell entry (config + audited costs), or ``None``."""
+        return self.entries.get(
+            self.key_for(hardware, num_rows, num_batch, scenario))
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def to_dict(self) -> dict:
+        return {
+            "format": "repro-tuning-policy-v1",
+            "entries": {k: e.to_dict() for k, e in sorted(
+                self.entries.items())},
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "TuningPolicy":
+        policy = cls()
+        for key, raw in data.get("entries", {}).items():
+            policy.entries[key] = PolicyEntry.from_dict(raw)
+        return policy
+
+    def save(self, path) -> None:
+        """Write the policy as ``best_configs.json``-style JSON."""
+        with open(path, "w") as fh:
+            json.dump(self.to_dict(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+
+    @classmethod
+    def load(cls, path) -> "TuningPolicy":
+        with open(path) as fh:
+            return cls.from_dict(json.load(fh))
+
+
+def distill_policy(
+    hardware,
+    scenario: TuneScenario,
+    batch_sizes,
+    *,
+    agent_factory=None,
+    budget: int = 160,
+    seed: int = 0,
+    logger: TrajectoryLogger | None = None,
+) -> TuningPolicy:
+    """Search every (GPU, batch) cell and distill the winners.
+
+    ``hardware`` is an iterable of :class:`~repro.gpu.hardware.GpuSpec`.
+    Each cell's search is seeded with :func:`baseline_config` (hand
+    rules) and a per-cell derived RNG seed, so the distilled policy is
+    deterministic and never loses to the hand rules.  ``agent_factory``
+    builds the agent per cell (``agent_factory(budget, seed)``); the
+    default is an annealed :class:`HillClimbAgent`.
+    """
+    if agent_factory is None:
+        def agent_factory(budget, seed):
+            return HillClimbAgent(budget=budget, seed=seed, temperature=0.05)
+
+    space = space_for_scenario(scenario)
+    policy = TuningPolicy()
+    for i, hw in enumerate(hardware):
+        for j, num_batch in enumerate(batch_sizes):
+            env = CostModelEnv(hw, scenario, int(num_batch))
+            base = baseline_config(hw, scenario, int(num_batch))
+            base_cost = env.evaluate(base)
+            agent = agent_factory(budget, seed + 1000 * i + j)
+            result = agent.search(env, space, seed_config=base,
+                                  logger=logger)
+            policy.add(PolicyEntry(
+                hardware=hw.name,
+                num_rows=scenario.num_rows,
+                num_batch=int(num_batch),
+                scenario=scenario.name,
+                config=result.best_config,
+                cost=result.best_cost,
+                baseline_cost=base_cost,
+                agent=agent.name,
+            ))
+    return policy

@@ -212,3 +212,73 @@ class TestTuneForMatrix:
             tune_batched_solver(V100, 0, 1, 1)
         with pytest.raises(ValueError):
             tune_batched_solver(V100, 10, 5, 2)
+
+
+class TestVariantEstimates:
+    """The shared per-variant pricing surface (gym + fig6 + chooser)."""
+
+    N, NNZ, STORED = 992, 8832, 8928
+
+    def test_scalar_iterations_expand_to_batch(self):
+        from repro.gpu import variant_estimates
+
+        ests = variant_estimates(
+            V100, "ell", self.N, self.NNZ,
+            {"cg": 32.0, "pipelined_cg": 32.0},
+            num_batch=120, stored_nnz=self.STORED,
+        )
+        assert set(ests) == {"cg", "pipelined_cg"}
+        for est in ests.values():
+            assert est.block_times_s.shape == (120,)
+            assert est.total_time_s > 0
+
+    def test_scalar_without_batch_raises(self):
+        from repro.gpu import variant_estimates
+
+        with pytest.raises(ValueError):
+            variant_estimates(V100, "ell", self.N, self.NNZ, {"cg": 32.0})
+
+    def test_chooser_reads_these_numbers(self):
+        """choose_solver_variant's winner is variant_estimates' argmin."""
+        from repro.gpu import variant_estimates
+
+        for nb in (120, 3840):
+            ests = variant_estimates(
+                V100, "ell", self.N, self.NNZ,
+                {"cg": 32.0, "pipelined_cg": 32.0},
+                num_batch=nb, stored_nnz=self.STORED,
+            )
+            modeled = min(ests, key=lambda s: ests[s].total_time_s)
+            chosen, _ = choose_solver_variant(
+                V100, "ell", self.N, self.NNZ, nb,
+                solver="cg", stored_nnz=self.STORED,
+            )
+            assert chosen == modeled
+
+
+class TestDecisionValueSemantics:
+    """TuningDecision is hashable and round-trips through plain dicts."""
+
+    def test_hashable_and_equal(self, paper_app):
+        matrix, _ = paper_app.build_matrices()
+        a = tune_for_matrix(V100, matrix)
+        b = tune_for_matrix(V100, matrix)
+        assert a == b
+        assert len({a, b}) == 1
+
+    def test_dict_round_trip(self, paper_app):
+        from repro.gpu import TuningDecision
+
+        matrix, _ = paper_app.build_matrices()
+        for hw in GPUS:
+            d = tune_for_matrix(hw, matrix)
+            again = TuningDecision.from_dict(d.to_dict())
+            assert again == d
+            assert again.rationale == d.rationale
+
+    def test_json_plain(self, paper_app):
+        import json
+
+        matrix, _ = paper_app.build_matrices()
+        d = tune_for_matrix(A100, matrix)
+        assert json.loads(json.dumps(d.to_dict())) == d.to_dict()

@@ -1,0 +1,106 @@
+"""Search-agent pins: determinism, budgets, exhaustive agreement."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gpu import A100, V100
+from repro.tune import (
+    CostModelEnv,
+    GeneticAgent,
+    HillClimbAgent,
+    RandomSearchAgent,
+    TrajectoryLogger,
+    baseline_config,
+    exhaustive_best,
+    space_for_scenario,
+    xgc_scenario,
+)
+
+SC = xgc_scenario()
+SPACE = space_for_scenario(SC)
+
+AGENTS = {
+    "random": lambda budget, seed: RandomSearchAgent(budget=budget, seed=seed),
+    "hillclimb": lambda budget, seed: HillClimbAgent(
+        budget=budget, seed=seed, temperature=0.05),
+    "genetic": lambda budget, seed: GeneticAgent(budget=budget, seed=seed),
+}
+
+
+@pytest.mark.parametrize("name", sorted(AGENTS))
+class TestEveryAgent:
+    def test_respects_budget_and_reports_history(self, name):
+        env = CostModelEnv(V100, SC, 960)
+        res = AGENTS[name](40, 1).search(env, SPACE)
+        assert res.evaluations <= 40
+        assert len(res.history) == res.evaluations
+        assert SPACE.is_valid(res.best_config)
+        assert res.best_cost == min(cost for _, cost, _ in res.history)
+
+    def test_seed_reproducibility(self, name):
+        runs = []
+        for _ in range(2):
+            env = CostModelEnv(V100, SC, 960)
+            res = AGENTS[name](60, 11).search(env, SPACE)
+            runs.append((res.best_config, res.best_cost,
+                         [(s, c, cfg) for s, c, cfg in res.history]))
+        assert runs[0] == runs[1]
+
+    def test_seed_config_guarantees_never_worse(self, name):
+        env = CostModelEnv(A100, SC, 64)
+        base = baseline_config(A100, SC, 64)
+        base_cost = env.evaluate(base)
+        res = AGENTS[name](30, 5).search(env, SPACE, seed_config=base)
+        assert res.best_cost <= base_cost
+        assert res.history[0][2] == base
+
+    def test_finds_exhaustive_optimum_with_generous_budget(self, name):
+        """Searched argmin == enumerated argmin (cost-wise) on the 324-
+        config space when the budget is a healthy fraction of it."""
+        env = CostModelEnv(V100, SC, 960)
+        _, optimum_cost = exhaustive_best(env)
+        res = AGENTS[name](200, 3).search(
+            env, SPACE, seed_config=baseline_config(V100, SC, 960))
+        assert res.best_cost == pytest.approx(optimum_cost, rel=0, abs=0)
+
+    def test_trajectory_logging(self, name, tmp_path):
+        env = CostModelEnv(V100, SC, 960)
+        logger = TrajectoryLogger()
+        res = AGENTS[name](25, 2).search(env, SPACE, logger=logger)
+        assert len(logger.records) == res.evaluations
+        curve = logger.best_curve(name)
+        assert curve == sorted(curve, reverse=True)  # monotone non-increasing
+        path = tmp_path / "traj.jsonl"
+        logger.save(path)
+        import json
+
+        lines = path.read_text().splitlines()
+        assert len(lines) == res.evaluations
+        rec = json.loads(lines[-1])
+        assert rec["agent"] == name
+        assert rec["best_cost"] == res.best_cost
+
+
+@given(seed=st.integers(min_value=0, max_value=2**16))
+@settings(max_examples=15, deadline=None)
+def test_hillclimb_annealing_never_loses_running_best(seed):
+    env = CostModelEnv(V100, SC, 256)
+    agent = HillClimbAgent(budget=50, seed=seed, temperature=0.2)
+    res = agent.search(env, SPACE)
+    assert res.best_cost <= min(cost for _, cost, _ in res.history)
+
+
+def test_regret_curve_hits_zero_at_optimum():
+    env = CostModelEnv(V100, SC, 960)
+    _, optimum_cost = exhaustive_best(env)
+    res = HillClimbAgent(budget=200, seed=3, temperature=0.05).search(
+        env, SPACE, seed_config=baseline_config(V100, SC, 960))
+    curve = res.regret_curve(optimum_cost)
+    assert curve[-1] == 0.0
+    assert all(a >= b for a, b in zip(curve, curve[1:]))
+
+
+def test_agent_rejects_nonpositive_budget():
+    with pytest.raises(ValueError):
+        RandomSearchAgent(budget=0)

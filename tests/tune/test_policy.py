@@ -1,0 +1,123 @@
+"""Policy pins: distillation wins, JSON round-trip, hand-rule fallback."""
+
+import json
+
+import pytest
+
+from repro.gpu import GPUS, V100, tune_for_matrix
+from repro.gpu.tuning import decision_for_config
+from repro.tune import (
+    PolicyEntry,
+    TuneConfig,
+    TuningPolicy,
+    baseline_config,
+    distill_policy,
+    xgc_scenario,
+)
+
+SC = xgc_scenario()
+
+
+@pytest.fixture(scope="module")
+def policy():
+    return distill_policy(GPUS, SC, (16, 960), budget=120, seed=0)
+
+
+@pytest.fixture(scope="module")
+def matrix():
+    from repro.xgc import CollisionProxyApp, ProxyAppConfig
+
+    app = CollisionProxyApp(ProxyAppConfig(num_mesh_nodes=8))
+    m, _ = app.build_matrices()
+    return m
+
+
+class TestDistillation:
+    def test_covers_every_cell(self, policy):
+        assert len(policy) == len(GPUS) * 2
+        for hw in GPUS:
+            for nb in (16, 960):
+                assert policy.lookup(hw.name, SC.num_rows, nb, "xgc")
+
+    def test_never_worse_than_hand_rules(self, policy):
+        for entry in policy.entries.values():
+            assert entry.cost <= entry.baseline_cost
+
+    def test_deterministic(self, policy):
+        again = distill_policy(GPUS, SC, (16, 960), budget=120, seed=0)
+        assert again.to_dict() == policy.to_dict()
+
+    def test_baseline_config_maps_hand_rules(self):
+        base = baseline_config(V100, SC, 960)
+        assert base.fmt == "dia"  # the pattern-driven hand-rule choice
+        assert base.precision == "fp64"
+        assert base.target_blocks_per_cu == V100.target_blocks_per_cu
+        assert base.compaction_threshold == 0.0
+
+
+class TestSerialization:
+    def test_json_round_trip_identical(self, policy, tmp_path):
+        path = tmp_path / "best_configs.json"
+        policy.save(path)
+        reloaded = TuningPolicy.load(path)
+        assert reloaded.to_dict() == policy.to_dict()
+        raw = json.loads(path.read_text())
+        assert raw["format"] == "repro-tuning-policy-v1"
+
+    def test_entry_round_trip(self, policy):
+        for entry in policy.entries.values():
+            assert PolicyEntry.from_dict(entry.to_dict()) == entry
+
+    def test_key_format(self):
+        assert (TuningPolicy.key_for("V100", 992, 960, "xgc")
+                == "V100|n992|b960|xgc")
+
+
+class TestTuneForMatrixIntegration:
+    def test_no_policy_is_bit_identical(self, matrix):
+        """policy=None must not perturb the golden hand-rule path."""
+        assert (tune_for_matrix(V100, matrix)
+                == tune_for_matrix(V100, matrix, policy=None))
+
+    def test_policy_hit_applies_searched_config(self, policy, matrix):
+        d = tune_for_matrix(V100, matrix, policy=policy)
+        config = policy.lookup(V100.name, matrix.num_rows,
+                               matrix.num_batch, "xgc")
+        assert d == decision_for_config(
+            V100, config, matrix.num_rows,
+            provenance=f"policy entry for V100, n={matrix.num_rows}, "
+                       f"batch={matrix.num_batch}, scenario='xgc'")
+        assert d.solver_variant == config.solver
+        assert d.fmt == config.fmt
+        assert "policy" in d.rationale
+
+    def test_policy_miss_falls_back_to_hand_rules(self, policy, matrix):
+        miss = tune_for_matrix(V100, matrix, policy=policy,
+                               scenario="unknown-scenario")
+        assert miss == tune_for_matrix(V100, matrix)
+
+    def test_policy_path_argument(self, policy, matrix, tmp_path):
+        path = tmp_path / "best_configs.json"
+        policy.save(path)
+        assert (tune_for_matrix(V100, matrix, policy=str(path))
+                == tune_for_matrix(V100, matrix, policy=policy))
+
+
+class TestDecisionForConfig:
+    def test_respects_residency_target(self):
+        roomy = decision_for_config(
+            V100, TuneConfig("bicgstab", "ell", "fp64",
+                             target_blocks_per_cu=1), 992)
+        tight = decision_for_config(
+            V100, TuneConfig("bicgstab", "ell", "fp64",
+                             target_blocks_per_cu=4), 992)
+        assert roomy.storage.num_shared >= tight.storage.num_shared
+        assert (roomy.storage.shared_bytes_used
+                > tight.storage.shared_bytes_used)
+
+    def test_precision_doubles_vector_capacity(self):
+        fp64 = decision_for_config(
+            V100, TuneConfig("gmres", "ell", "fp64", gmres_restart=30), 992)
+        fp32 = decision_for_config(
+            V100, TuneConfig("gmres", "ell", "mixed", gmres_restart=30), 992)
+        assert fp32.storage.num_shared >= fp64.storage.num_shared

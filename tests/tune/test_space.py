@@ -1,0 +1,100 @@
+"""Configuration-space pins: validity masks, moves, round-trips."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tune import ConfigSpace, TuneConfig, space_for_scenario, xgc_scenario
+from repro.tune.space import CANONICAL_RESTART
+
+SPACE = space_for_scenario(xgc_scenario())
+
+seeds = st.integers(min_value=0, max_value=2**31 - 1)
+
+
+class TestTuneConfig:
+    def test_frozen_and_hashable(self):
+        c = TuneConfig("bicgstab", "ell", "fp64")
+        with pytest.raises(Exception):
+            c.fmt = "csr"
+        assert len({c, TuneConfig("bicgstab", "ell", "fp64")}) == 1
+
+    def test_value_bytes_follows_precision(self):
+        assert TuneConfig("cgs", "csr", "fp64").value_bytes == 8
+        assert TuneConfig("cgs", "csr", "fp32").value_bytes == 4
+        assert TuneConfig("cgs", "csr", "mixed").value_bytes == 4
+
+    def test_dict_round_trip(self):
+        for config in SPACE.enumerate():
+            again = TuneConfig.from_dict(config.to_dict())
+            assert again == config
+            assert hash(again) == hash(config)
+
+    def test_to_dict_is_json_plain(self):
+        import json
+
+        for config in list(SPACE.enumerate())[:5]:
+            assert json.loads(json.dumps(config.to_dict())) == config.to_dict()
+
+
+class TestConfigSpace:
+    def test_size_matches_enumeration(self):
+        configs = list(SPACE.enumerate())
+        assert len(configs) == SPACE.size()
+        assert len(set(configs)) == SPACE.size()
+
+    def test_enumerated_configs_are_valid(self):
+        assert all(SPACE.is_valid(c) for c in SPACE.enumerate())
+
+    def test_non_gmres_restart_is_canonical(self):
+        for config in SPACE.enumerate():
+            if "gmres" not in config.solver:
+                assert config.gmres_restart == CANONICAL_RESTART
+
+    def test_invalid_points_rejected(self):
+        assert not SPACE.is_valid(TuneConfig("bicgstab", "ell", "fp32"))
+        assert not SPACE.is_valid(
+            TuneConfig("bicgstab", "ell", "fp64", gmres_restart=10))
+        assert not SPACE.is_valid(
+            TuneConfig("cg", "ell", "fp64"))  # not in scenario mask
+        assert not SPACE.is_valid(
+            TuneConfig("bicgstab", "ell", "fp64", target_blocks_per_cu=7))
+
+    def test_unknown_names_raise_at_construction(self):
+        with pytest.raises(ValueError):
+            ConfigSpace(solvers=("nope",))
+        with pytest.raises(ValueError):
+            ConfigSpace(precisions=("fp16",))
+        with pytest.raises(ValueError):
+            ConfigSpace(formats=("coo",))
+
+    @given(seed=seeds)
+    @settings(max_examples=60, deadline=None)
+    def test_sampled_configs_valid(self, seed):
+        rng = np.random.default_rng(seed)
+        assert SPACE.is_valid(SPACE.sample(rng))
+
+    @given(seed=seeds)
+    @settings(max_examples=60, deadline=None)
+    def test_mutation_valid_and_single_step(self, seed):
+        rng = np.random.default_rng(seed)
+        config = SPACE.sample(rng)
+        mutant = SPACE.mutate(config, rng)
+        assert SPACE.is_valid(mutant)
+        assert mutant != config
+
+    @given(seed=seeds)
+    @settings(max_examples=60, deadline=None)
+    def test_crossover_valid(self, seed):
+        rng = np.random.default_rng(seed)
+        a, b = SPACE.sample(rng), SPACE.sample(rng)
+        assert SPACE.is_valid(SPACE.crossover(a, b, rng))
+
+    def test_moves_are_seed_deterministic(self):
+        a = SPACE.sample(np.random.default_rng(42))
+        b = SPACE.sample(np.random.default_rng(42))
+        assert a == b
+        m1 = SPACE.mutate(a, np.random.default_rng(7))
+        m2 = SPACE.mutate(a, np.random.default_rng(7))
+        assert m1 == m2

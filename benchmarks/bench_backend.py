@@ -1,0 +1,239 @@
+"""Backend gate: jitted JAX SpMV + BLAS-1 vs NumPy at production batch size.
+
+Times the hot kernels of one solver iteration — the format SpMV and the
+fused BLAS-1 updates — on the paper's n = 992 stencil pattern at a batch
+of >= 1000 systems, under the default NumPy backend and (when installed)
+the JAX backend, and writes ``BENCH_backend.json`` at the repo root.
+
+Gates:
+
+* the JAX kernels must agree with NumPy to 1e-12 (scaled) — a perf port
+  that changes numerics fails here;
+* optionally (``--min-speedup``) the jitted JAX SpMV must beat NumPy by
+  the given factor (default 0.0: log-only, shared CI runners are noisy).
+
+Also logs the **model-vs-measured iteration-cost ratio**: the GPU cost
+model's per-iteration estimate for this (format, n, nnz) against the
+measured host per-iteration wall time, so drift between the model and
+the executable implementation is visible in the artifact.
+
+Without JAX installed the script records the NumPy baseline only and
+exits 0 — the backend is optional by design.
+
+Run standalone (CI gate)::
+
+    PYTHONPATH=src python benchmarks/bench_backend.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+
+import numpy as np
+
+from repro.core import (
+    AbsoluteResidual,
+    available_backends,
+    backend_of,
+    get_backend,
+    make_solver,
+    to_format,
+)
+from repro.core.batch_ell import BatchEll
+from repro.core.blas import fused_dots, fused_update, masked_axpy
+from repro.xgc import CollisionProxyApp, ProxyAppConfig
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+
+
+def build_problem(num_batch: int):
+    """The paper's stencil batch (ELL) replicated to ``num_batch`` systems."""
+    app = CollisionProxyApp(ProxyAppConfig(num_mesh_nodes=2))
+    matrix, rhs = app.build_matrices()
+    ell = to_format(matrix, "ell")
+    reps = -(-num_batch // ell.num_batch)
+    # Replicate the assembled systems and spread the spectra so the big
+    # batch is not `reps` bit-identical copies.
+    values = np.tile(ell.values, (reps, 1, 1))[:num_batch]
+    values *= np.linspace(0.9, 1.1, num_batch)[:, None, None]
+    big = BatchEll(ell.num_cols, ell.col_idxs, values, check=False)
+    b = np.tile(rhs, (reps, 1))[:num_batch]
+    return app, big, b
+
+
+def timeit(fn, *, repeats: int, warmup: int = 2) -> float:
+    for _ in range(warmup):
+        fn()
+    t0 = time.perf_counter()
+    for _ in range(repeats):
+        fn()
+    return (time.perf_counter() - t0) / repeats
+
+
+def bench_numpy(matrix, b, repeats: int) -> dict:
+    nb, n = b.shape
+    x = np.linspace(-1.0, 1.0, nb * n).reshape(nb, n)
+    out = np.empty_like(b)
+    alpha = np.linspace(0.5, 1.5, nb)
+    work = np.empty_like(b)
+
+    spmv_s = timeit(lambda: matrix.apply(x, out=out), repeats=repeats)
+    axpy_s = timeit(
+        lambda: masked_axpy(out, alpha, x, work=work), repeats=repeats
+    )
+    dots_s = timeit(
+        lambda: fused_dots((x, out), (x, x), dtype=np.float64),
+        repeats=repeats,
+    )
+    fused_s = timeit(
+        lambda: fused_update(out, b, alpha, alpha, x, work=work),
+        repeats=repeats,
+    )
+    return {
+        "spmv_s": spmv_s,
+        "masked_axpy_s": axpy_s,
+        "fused_dots_s": dots_s,
+        "fused_update_s": fused_s,
+        "reference": matrix.apply(x),
+    }
+
+
+def bench_jax(matrix, b, repeats: int) -> dict:
+    bk = get_backend("jax")
+    dev = BatchEll(
+        matrix.num_cols, matrix.col_idxs, bk.asarray(matrix.values),
+        check=False,
+    )
+    nb, n = b.shape
+    x = bk.asarray(np.linspace(-1.0, 1.0, nb * n).reshape(nb, n))
+    alpha = np.linspace(0.5, 1.5, nb)
+    bdev = bk.asarray(b)
+
+    def sync(a):
+        return a.block_until_ready()
+
+    spmv_s = timeit(lambda: sync(dev.apply(x)), repeats=repeats)
+    axpy_s = timeit(
+        lambda: sync(bk.masked_axpy(bdev, alpha, x)), repeats=repeats
+    )
+    # fused_dots returns host arrays — the sync is the device->host copy.
+    dots_s = timeit(
+        lambda: fused_dots((x, x), (x, bdev), dtype=np.float64),
+        repeats=repeats,
+    )
+    fused_s = timeit(
+        lambda: sync(bk.fused_update(bdev, bdev, alpha, alpha, x)),
+        repeats=repeats,
+    )
+    return {
+        "spmv_s": spmv_s,
+        "masked_axpy_s": axpy_s,
+        "fused_dots_s": dots_s,
+        "fused_update_s": fused_s,
+        "result": np.asarray(dev.apply(x)),
+    }
+
+
+def model_vs_measured(app, matrix, b) -> dict:
+    """Measured host per-iteration cost vs the A100 model's estimate."""
+    from repro.gpu import A100, estimate_iterative_solve
+
+    solver = make_solver(
+        "bicgstab", preconditioner="jacobi",
+        criterion=AbsoluteResidual(1e-30), max_iter=10,
+    )
+    t0 = time.perf_counter()
+    result = solver.solve(matrix, b)
+    measured_s = time.perf_counter() - t0
+    iters = result.iterations
+    est = estimate_iterative_solve(
+        A100, "ell", matrix.num_rows, app.stencil.nnz, iters,
+        stored_nnz=matrix.col_idxs.size,
+    )
+    per_it_measured = measured_s / max(int(iters.max()), 1)
+    per_it_model = est.total_time_s / max(int(iters.max()), 1)
+    return {
+        "measured_solve_s": measured_s,
+        "modeled_solve_s": est.total_time_s,
+        "iterations": int(iters.max()),
+        "per_iteration_measured_s": per_it_measured,
+        "per_iteration_model_s": per_it_model,
+        # Host wall time over modeled A100 time: how much faster the
+        # modeled GPU is than this host path.  Logged, never gated.
+        "measured_over_model": per_it_measured / per_it_model,
+    }
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--batch", type=int, default=1000,
+                    help="batch size (>= 1000 is the production regime)")
+    ap.add_argument("--repeats", type=int, default=5)
+    ap.add_argument("--min-speedup", type=float, default=0.0,
+                    help="required JAX-over-NumPy SpMV speedup "
+                         "(0 disables the perf gate)")
+    ap.add_argument("--out", default=str(REPO_ROOT / "BENCH_backend.json"))
+    args = ap.parse_args(argv)
+
+    app, matrix, b = build_problem(args.batch)
+    print(f"stencil batch: {matrix.num_batch} systems x "
+          f"{matrix.num_rows} rows (ell)")
+
+    report = {
+        "batch": matrix.num_batch,
+        "num_rows": matrix.num_rows,
+        "format": "ell",
+        "backends_available": list(available_backends()),
+        "numpy": {},
+        "jax": None,
+        "model": model_vs_measured(app, matrix, b),
+    }
+
+    host = bench_numpy(matrix, b, args.repeats)
+    reference = host.pop("reference")
+    report["numpy"] = host
+    for key, val in host.items():
+        print(f"  numpy  {key:<16} {val * 1e3:8.3f} ms")
+    print(f"  model  measured/model  "
+          f"{report['model']['measured_over_model']:8.1f}x")
+
+    failures = []
+    if "jax" in available_backends():
+        dev = bench_jax(matrix, b, args.repeats)
+        result = dev.pop("result")
+        report["jax"] = dev
+        for key, val in dev.items():
+            print(f"  jax    {key:<16} {val * 1e3:8.3f} ms")
+
+        scale = np.abs(reference).max()
+        err = np.abs(result - np.asarray(reference)).max() / max(scale, 1.0)
+        report["jax"]["spmv_rel_err"] = float(err)
+        if err > 1e-12:
+            failures.append(f"JAX SpMV deviates from NumPy: {err:.2e} > 1e-12")
+
+        speedup = host["spmv_s"] / dev["spmv_s"]
+        report["jax"]["spmv_speedup"] = float(speedup)
+        print(f"  jax    spmv speedup     {speedup:8.2f}x")
+        if args.min_speedup and speedup < args.min_speedup:
+            failures.append(
+                f"JAX SpMV speedup {speedup:.2f}x < required "
+                f"{args.min_speedup:.2f}x"
+            )
+        assert not backend_of(result).is_host or isinstance(result, np.ndarray)
+    else:
+        print("  jax    not installed — NumPy baseline only")
+
+    pathlib.Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {args.out}")
+
+    for msg in failures:
+        print(f"FAIL: {msg}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

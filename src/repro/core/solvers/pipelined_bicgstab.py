@@ -36,8 +36,7 @@ inherited unchanged from the shared driver.
 
 from __future__ import annotations
 
-import numpy as np
-
+from ..backend import host as np
 from ..batch_dense import batch_dot
 from ..blas import fused_dots, fused_update, masked_assign, masked_axpy, masked_fill
 from ..faults import SolverHealth
@@ -54,10 +53,10 @@ class BatchPipelinedBicgstab(BatchedIterativeSolver):
     @staticmethod
     def _restart(st, true_r, restarted):
         """Rebuild the Krylov state of drifted systems from the true residual."""
-        masked_assign(st.r, true_r, restarted)
-        masked_assign(st.r_hat, true_r, restarted)
-        masked_fill(st.p, 0.0, restarted)
-        masked_fill(st.v, 0.0, restarted)
+        st.r = masked_assign(st.r, true_r, restarted)
+        st.r_hat = masked_assign(st.r_hat, true_r, restarted)
+        st.p = masked_fill(st.p, 0.0, restarted)
+        st.v = masked_fill(st.v, 0.0, restarted)
         masked_fill(st.rho_old, 1.0, restarted)
         # The rho recurrence is rebuilt exactly: r_hat = r = true_r.
         masked_assign(
@@ -67,7 +66,7 @@ class BatchPipelinedBicgstab(BatchedIterativeSolver):
     def _iterate(self, matrix, b, x, precond, ws):
         drv = IterationDriver(self, matrix, b, x, precond, ws, zero=("p", "v"))
         st = drv.state
-        st.r_hat[...] = st.r
+        st.r_hat = st.bk.copyto(st.r_hat, st.r)
 
         st.register_scalar("rho_old", ws.scalar("rho_old", fill=1.0))
         st.register_scalar("alpha", ws.scalar("alpha", fill=1.0))
@@ -92,10 +91,10 @@ class BatchPipelinedBicgstab(BatchedIterativeSolver):
             )
 
             # p = r + beta * (p - omega * v)
-            fused_update(st.p, st.r, beta, st.omega, st.v, work=st.work)
+            st.p = fused_update(st.p, st.r, beta, st.omega, st.v, work=st.work)
 
-            st.precond.apply(st.p, out=st.p_hat)
-            st.matrix.apply(st.p_hat, out=st.v)
+            st.p_hat = st.precond.apply(st.p, out=st.p_hat)
+            st.v = st.matrix.apply(st.p_hat, out=st.v)
 
             # ROUND 1: alpha = rho / (r_hat . v).
             alpha_den = batch_dot(st.r_hat, st.v, dtype=st.acc_dtype)
@@ -108,11 +107,11 @@ class BatchPipelinedBicgstab(BatchedIterativeSolver):
             safe_divide(st.rho, alpha_den, cont, out=st.alpha)
 
             # s = r - alpha * v
-            np.multiply(st.v, st.alpha[:, None], out=st.s)
-            np.subtract(st.r, st.s, out=st.s)
+            st.s = st.bk.multiply(st.v, st.alpha[:, None], out=st.s)
+            st.s = st.bk.subtract(st.r, st.s, out=st.s)
 
-            st.precond.apply(st.s, out=st.s_hat)
-            st.matrix.apply(st.s_hat, out=st.t)
+            st.s_hat = st.precond.apply(st.s, out=st.s_hat)
+            st.t = st.matrix.apply(st.s_hat, out=st.t)
 
             # ROUND 2: every remaining scalar of the iteration.
             ts, tt, rhs, rht, ss = fused_dots(
@@ -130,13 +129,13 @@ class BatchPipelinedBicgstab(BatchedIterativeSolver):
             safe_divide(ts, tt, cont, out=st.omega)
 
             # x += alpha * p_hat + omega * s_hat
-            masked_axpy(st.x, st.alpha, st.p_hat, mask=cont, work=st.work)
-            masked_axpy(st.x, st.omega, st.s_hat, mask=cont, work=st.work)
+            st.x = masked_axpy(st.x, st.alpha, st.p_hat, mask=cont, work=st.work)
+            st.x = masked_axpy(st.x, st.omega, st.s_hat, mask=cont, work=st.work)
 
             # r = s - omega * t   (only for continuing systems)
-            np.multiply(st.t, st.omega[:, None], out=st.t)
-            np.subtract(st.s, st.t, out=st.t)
-            masked_assign(st.r, st.t, cont)
+            st.t = st.bk.multiply(st.t, st.omega[:, None], out=st.t)
+            st.t = st.bk.subtract(st.s, st.t, out=st.t)
+            st.r = masked_assign(st.r, st.t, cont)
 
             # Recurrence scalars: rho' = r_hat.(s - omega t) and
             # ||r||^2 = s.s - 2 omega t.s + omega^2 t.t, clamped at zero

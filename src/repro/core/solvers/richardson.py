@@ -16,8 +16,7 @@ vectorised health guards on the recorded residual norms.
 
 from __future__ import annotations
 
-import numpy as np
-
+from ..backend import host as np
 from ...utils.validation import check_positive
 from ..batch_dense import batch_norm2
 from ..blas import masked_axpy
@@ -46,11 +45,11 @@ class BatchRichardson(BatchedIterativeSolver):
         drv = IterationDriver(self, matrix, b, x, precond, ws)
 
         def body(st, it):
-            st.precond.apply(st.r, out=st.z)
+            st.z = st.precond.apply(st.r, out=st.z)
             # Frozen systems take a zero step.
-            masked_axpy(st.x, self.relaxation, st.z, mask=st.active, work=st.work)
+            st.x = masked_axpy(st.x, self.relaxation, st.z, mask=st.active, work=st.work)
 
-            residual(st.matrix, st.x, st.b, out=st.r)
+            st.r = residual(st.matrix, st.x, st.b, out=st.r)
 
             res_norms = batch_norm2(st.r, dtype=st.acc_dtype)
             drv.update_norms(res_norms, st.active)

@@ -1,0 +1,355 @@
+"""Backend-seam conformance suite.
+
+Three contracts, in increasing strength:
+
+1. **NumpyBackend primitives are verbatim** the pre-seam NumPy
+   statements: same results, same ``out=`` aliasing, destination returned.
+2. **The fp64 NumPy path is bit-identical** to the seed implementation —
+   the golden n = 992 pin passes with the backend resolved explicitly, and
+   the hot-path modules name no array library besides the seam.
+3. **JaxBackend agrees with NumPy to 1e-12** on the paper's n = 992
+   stencil batch for every iterative solver in every sparse format.
+   Without JAX installed the whole JAX class skips cleanly.
+"""
+
+import importlib
+import json
+import pathlib
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    NUMPY,
+    ArrayBackend,
+    BackendUnavailableError,
+    BatchCsr,
+    BatchDia,
+    BatchEll,
+    NumpyBackend,
+    available_backends,
+    backend_of,
+    get_backend,
+    make_solver,
+    to_format,
+)
+from repro.core.stop import AbsoluteResidual
+from repro.core.workspace import SolverWorkspace
+
+GOLDEN = pathlib.Path(__file__).parent.parent / "data" / "golden_solvers_n992.json"
+
+ITERATIVE_SOLVERS = ("bicgstab", "cg", "cgs", "gmres", "pipelined_bicgstab",
+                     "pipelined_cg", "richardson")
+
+HAVE_JAX = "jax" in available_backends()
+
+
+# -- resolution ------------------------------------------------------------
+
+class TestResolution:
+    def test_none_and_aliases_give_the_singleton(self):
+        for spec in (None, "numpy", "host", "cpu", "NumPy"):
+            assert get_backend(spec) is NUMPY
+
+    def test_instance_passthrough(self):
+        bk = NumpyBackend()
+        assert get_backend(bk) is bk
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ValueError, match="unknown backend"):
+            get_backend("torch")
+
+    def test_backend_of_host_arrays(self):
+        assert backend_of(np.zeros(3)) is NUMPY
+        assert backend_of(None, np.zeros(3), None) is NUMPY
+        assert backend_of() is NUMPY
+
+    def test_available_backends_lists_numpy_first(self):
+        names = available_backends()
+        assert names[0] == "numpy"
+
+    @pytest.mark.skipif(HAVE_JAX, reason="JAX is installed here")
+    def test_jax_unavailable_raises_cleanly(self):
+        with pytest.raises(BackendUnavailableError, match="jax"):
+            get_backend("jax")
+
+    def test_numpy_backend_flags(self):
+        assert NUMPY.is_host
+        assert NUMPY.name == "numpy"
+        assert NUMPY.xp is np
+        assert isinstance(NUMPY, ArrayBackend)
+
+
+# -- NumpyBackend primitive conformance ------------------------------------
+
+class TestNumpyPrimitives:
+    """Each primitive returns its destination and matches the raw
+    NumPy statement it replaced, bitwise."""
+
+    def setup_method(self):
+        self.rng = np.random.default_rng(20220157)
+
+    def vec(self, shape=(5, 7)):
+        return self.rng.standard_normal(shape)
+
+    def test_elementwise_alias_and_identity(self):
+        bk = NUMPY
+        a, b = self.vec(), self.vec()
+        ref = a + b
+        out = np.empty_like(a)
+        res = bk.add(a, b, out=out)
+        assert res is out
+        assert np.array_equal(res, ref)
+        assert np.array_equal(bk.subtract(a, b), a - b)
+        assert np.array_equal(bk.multiply(a, b), a * b)
+
+    def test_fill_and_copyto_return_destination(self):
+        bk = NUMPY
+        a = self.vec()
+        assert bk.fill(a, 3.5) is a
+        assert np.all(a == 3.5)
+        src = self.vec()
+        assert bk.copyto(a, src) is a
+        assert np.array_equal(a, src)
+
+    def test_dot_and_norm2_accumulate_dtype(self):
+        bk = NUMPY
+        a = self.vec().astype(np.float32)
+        b = self.vec().astype(np.float32)
+        ref = np.einsum("bi,bi->b", a, b, dtype=np.float64)
+        got = bk.dot(a, b, dtype=np.float64)
+        assert got.dtype == np.float64
+        assert np.array_equal(got, ref)
+        ref_n = np.sqrt(np.einsum("bi,bi->b", a, a, dtype=np.float64))
+        assert np.array_equal(bk.norm2(a, dtype=np.float64), ref_n)
+
+    def test_masked_assign_fill_axpy(self):
+        bk = NUMPY
+        dst, src = self.vec(), self.vec()
+        mask = np.array([True, False, True, False, True])
+        ref = np.where(mask[:, None], src, dst)
+        got = bk.masked_assign(dst.copy(), src, mask)
+        assert np.array_equal(got, ref)
+        got = bk.masked_fill(dst.copy(), 9.0, mask)
+        assert np.array_equal(got, np.where(mask[:, None], 9.0, dst))
+        alpha = self.rng.standard_normal(5)
+        y = dst.copy()
+        got = bk.masked_axpy(y, alpha, src, mask=mask)
+        assert got is y
+        assert np.array_equal(got, np.where(mask[:, None],
+                                            dst + alpha[:, None] * src, dst))
+
+    def test_take_out_is_a_view_of_out(self):
+        bk = NUMPY
+        src = self.vec((6, 4))
+        out = np.empty_like(src)
+        idx = np.array([4, 1, 3])
+        got = bk.take(src, idx, out=out)
+        assert got.base is out or got is out[:3]
+        assert np.array_equal(got, src[idx])
+        # Boolean masks gather the same rows.
+        mask = np.zeros(6, dtype=bool)
+        mask[[4, 1, 3]] = True
+        assert np.array_equal(bk.take(src, mask), src[mask])
+
+    def test_at_set_mutates_in_place(self):
+        bk = NUMPY
+        a = np.zeros((3, 4))
+        res = bk.at_set(a, (slice(None), 2), 1.0)
+        assert res is a
+        assert np.array_equal(a[:, 2], np.ones(3))
+
+    def test_fused_update_matches_formula(self):
+        bk = NUMPY
+        p, r, v = self.vec(), self.vec(), self.vec()
+        beta = self.rng.standard_normal(5)
+        omega = self.rng.standard_normal(5)
+        ref = r + beta[:, None] * (p - omega[:, None] * v)
+        got = bk.fused_update(p.copy(), r, beta, omega, v)
+        assert np.allclose(got, ref, rtol=0, atol=1e-15)
+
+    def test_pipelined_cg_update_matches_formula(self):
+        bk = NUMPY
+        p, s, u, w, x, r = (self.vec() for _ in range(6))
+        alpha = self.rng.standard_normal(5)
+        beta = self.rng.standard_normal(5)
+        p2 = beta[:, None] * p + u
+        s2 = beta[:, None] * s + w
+        x2 = x + alpha[:, None] * p2
+        r2 = r - alpha[:, None] * s2
+        gp, gs, gx, gr = bk.pipelined_cg_update(
+            p.copy(), s.copy(), u, w, x.copy(), r.copy(), alpha, beta
+        )
+        for got, ref in ((gp, p2), (gs, s2), (gx, x2), (gr, r2)):
+            assert np.allclose(got, ref, rtol=0, atol=1e-14)
+
+
+# -- workspace / seam plumbing ---------------------------------------------
+
+class TestSeamPlumbing:
+    def test_workspace_records_backend(self):
+        ws = SolverWorkspace(4, 8)
+        assert ws.backend is NUMPY
+        assert ws.matches(4, 8, backend="numpy")
+        assert ws.matches(4, 8, backend=NUMPY)
+        other = NumpyBackend()
+        assert not ws.matches(4, 8, backend=other)
+
+    def test_hot_modules_have_no_direct_numpy_import(self):
+        """Acceptance gate: outside the seam, hot-path modules only name
+        the host namespace via ``from .backend import host as np``."""
+        src = pathlib.Path(__file__).parents[2] / "src" / "repro"
+        hot = [
+            src / "core" / "blas.py",
+            src / "core" / "spmv.py",
+            src / "core" / "batch_csr.py",
+            src / "core" / "batch_ell.py",
+            src / "core" / "batch_dia.py",
+            src / "core" / "batch_dense.py",
+            src / "core" / "workspace.py",
+            src / "core" / "compaction.py",
+            src / "core" / "convert.py",
+            src / "core" / "preconditioners.py",
+            *sorted((src / "core" / "solvers").glob("*.py")),
+        ]
+        for path in hot:
+            text = path.read_text()
+            assert "import numpy" not in text, (
+                f"{path.name} imports numpy directly; hot-path modules "
+                "must go through repro.core.backend"
+            )
+
+    def test_backend_module_is_the_only_numpy_owner_in_core(self):
+        backend = importlib.import_module("repro.core.backend")
+        assert backend.host is np
+
+
+# -- fp64 golden parity under the explicit backend -------------------------
+
+class TestGoldenParityExplicitBackend:
+    """The golden n=992 pin passes when the workspace backend is named
+    explicitly — the seam changed nothing on the fp64 NumPy path."""
+
+    @pytest.fixture(scope="class")
+    def golden(self):
+        with open(GOLDEN) as fh:
+            return json.load(fh)
+
+    @pytest.fixture(scope="class")
+    def problem(self, paper_app):
+        return paper_app.build_matrices()
+
+    @pytest.mark.parametrize("name", ("bicgstab", "gmres"))
+    def test_bit_identical(self, name, golden, problem):
+        meta = golden["meta"]
+        matrix, f = problem
+        extra = {"restart": meta["gmres_restart"]} if name == "gmres" else {}
+        solver = make_solver(
+            name,
+            preconditioner=meta["preconditioner"],
+            criterion=AbsoluteResidual(meta["tol"]),
+            max_iter=meta["max_iter"],
+            **extra,
+        )
+        ws = SolverWorkspace(
+            matrix.num_batch, matrix.num_rows, backend="numpy"
+        )
+        result = solver.solve(matrix, f, workspace=ws)
+        ref = golden["solvers"][name]
+        assert result.iterations.tolist() == ref["iterations"]
+        assert result.converged.tolist() == ref["converged"]
+        assert [v.hex() for v in result.residual_norms] == (
+            ref["residual_norms_hex"]
+        )
+
+
+# -- JAX conformance -------------------------------------------------------
+
+def _device_matrix(bk, matrix):
+    """The same batch with its values uploaded to the device backend."""
+    values = bk.asarray(matrix.values)
+    if isinstance(matrix, BatchCsr):
+        return BatchCsr(matrix.num_cols, matrix.row_ptrs, matrix.col_idxs,
+                        values, check=False)
+    if isinstance(matrix, BatchEll):
+        return BatchEll(matrix.num_cols, matrix.col_idxs, values, check=False)
+    if isinstance(matrix, BatchDia):
+        return BatchDia(matrix.num_cols, matrix.offsets, values, check=False)
+    raise TypeError(type(matrix))
+
+
+@pytest.mark.skipif(not HAVE_JAX, reason="JAX not installed")
+class TestJaxConformance:
+    """Every iterative solver, every sparse format: the JAX path solves
+    the paper's n = 992 stencil batch and agrees with NumPy to 1e-12."""
+
+    TOL = 1e-12
+
+    @pytest.fixture(scope="class")
+    def jax_backend(self):
+        return get_backend("jax")
+
+    @pytest.fixture(scope="class")
+    def problem(self, paper_app):
+        return paper_app.build_matrices()
+
+    @pytest.fixture(scope="class")
+    def reference(self, problem):
+        """Host solutions per solver (CSR; formats agree to round-off)."""
+        matrix, f = problem
+        out = {}
+        for name in ITERATIVE_SOLVERS:
+            solver = make_solver(
+                name, preconditioner="jacobi",
+                criterion=AbsoluteResidual(1e-10), max_iter=500,
+            )
+            out[name] = solver.solve(matrix, f)
+        return out
+
+    @pytest.mark.parametrize("fmt", ("csr", "ell", "dia"))
+    @pytest.mark.parametrize("name", ITERATIVE_SOLVERS)
+    def test_solver_agrees_with_numpy(
+        self, name, fmt, jax_backend, problem, reference
+    ):
+        matrix, f = problem
+        dev = _device_matrix(jax_backend, to_format(matrix, fmt))
+        solver = make_solver(
+            name, preconditioner="jacobi",
+            criterion=AbsoluteResidual(1e-10), max_iter=500,
+        )
+        result = solver.solve(dev, f)
+        ref = reference[name]
+        assert result.converged.all()
+        assert isinstance(result.x, np.ndarray)
+        scale = np.abs(ref.x).max()
+        assert np.abs(result.x - ref.x).max() <= self.TOL * max(scale, 1.0)
+        assert np.abs(
+            result.residual_norms - ref.residual_norms
+        ).max() <= 1e-10
+
+    def test_workspace_vectors_live_on_the_device(self, jax_backend):
+        ws = SolverWorkspace(4, 8, backend="jax")
+        v = ws.vector("x")
+        assert not backend_of(v).is_host
+        assert ws.matches(4, 8, backend=jax_backend)
+
+    def test_picard_step_matches_host(self, jax_backend):
+        """One warm-started Picard step on a small grid: the jax backend
+        reproduces the host step to conformance tolerance."""
+        from repro.xgc import CollisionProxyApp, PicardOptions, ProxyAppConfig
+        from repro.xgc.grid import VelocityGrid
+
+        def run(backend):
+            app = CollisionProxyApp(ProxyAppConfig(
+                num_mesh_nodes=1,
+                grid=VelocityGrid(nv_par=12, nv_perp=11),
+                picard=PicardOptions(backend=backend),
+            ))
+            f0 = app.initial_state()
+            return app.stepper.step(f0, app.config.dt)
+
+        host = run("numpy")
+        dev = run("jax")
+        assert dev.converged.all()
+        scale = np.abs(host.f_new).max()
+        assert np.abs(dev.f_new - host.f_new).max() <= 1e-10 * max(scale, 1.0)

@@ -30,6 +30,8 @@ import time
 
 import numpy as np
 
+from conftest import percentiles
+
 from repro.core import (
     AbsoluteResidual,
     BatchBicgstab,
@@ -89,24 +91,27 @@ def make_escalating():
 
 
 def time_solve(solver, matrix, b, repeats: int):
+    """Best-of-``repeats`` wall-clock, the repeat samples, and the result."""
     solver.solve(matrix, b)  # warm-up: allocates the workspace
-    best = np.inf
+    samples = []
     result = None
     for _ in range(repeats):
         t0 = time.perf_counter()
         result = solver.solve(matrix, b)
-        best = min(best, time.perf_counter() - t0)
-    return best, result
+        samples.append(time.perf_counter() - t0)
+    return min(samples), samples, result
 
 
 def bench_healthy_overhead(matrix, b, repeats):
-    t_plain, res_plain = time_solve(make_plain(), matrix, b, repeats)
+    t_plain, samples_plain, res_plain = time_solve(make_plain(), matrix, b, repeats)
     esc = make_escalating()
-    t_esc, res_esc = time_solve(esc, matrix, b, repeats)
+    t_esc, samples_esc, res_esc = time_solve(esc, matrix, b, repeats)
     overhead = t_esc / t_plain - 1.0
     return {
         "time_plain_s": t_plain,
         "time_escalation_s": t_esc,
+        "plain_stats": percentiles(samples_plain),
+        "escalation_stats": percentiles(samples_esc),
         "overhead": overhead,
         "solutions_identical": bool(np.array_equal(res_plain.x, res_esc.x)),
         "iterations_identical": bool(
@@ -130,12 +135,13 @@ def bench_recovery(matrix, b, num_rows, repeats):
     esc = make_escalating()
     with np.errstate(all="ignore"):
         esc.solve(mc, bc, x0=x0)  # warm-up
-        best = np.inf
+        samples = []
         res = None
         for _ in range(repeats):
             t0 = time.perf_counter()
             res = esc.solve(mc, bc, x0=x0)
-            best = min(best, time.perf_counter() - t0)
+            samples.append(time.perf_counter() - t0)
+        best = min(samples)
 
     report = esc.last_report
     true_res = np.linalg.norm(bc - mc.apply(res.x), axis=1)
@@ -146,6 +152,7 @@ def bench_recovery(matrix, b, num_rows, repeats):
                                billing, stored_nnz=stored)
     return {
         "time_with_recovery_s": best,
+        "recovery_stats": percentiles(samples),
         "injected_systems": faulted.tolist(),
         "health_before": health_counts(report.health_before),
         "health_after": health_counts(report.health_after),

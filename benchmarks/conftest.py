@@ -100,6 +100,31 @@ def tile_iterations(iterations: np.ndarray, nb: int) -> np.ndarray:
     return np.tile(iterations, nb // iterations.size + 1)[:nb]
 
 
+def percentiles(samples, *, unit: str = "s") -> dict:
+    """Tail-latency summary of a sample list, with a stable JSON schema.
+
+    Returns ``{"count", "unit", "mean", "p50", "p95", "p99", "max"}`` —
+    the shape every benchmark report uses for latency/time distributions,
+    so downstream tooling can read any ``BENCH_*.json`` the same way.
+    Empty input yields zeros (count 0) rather than NaNs, keeping the JSON
+    finite.
+    """
+    arr = np.asarray(list(samples), dtype=np.float64)
+    if arr.size == 0:
+        return {"count": 0, "unit": unit, "mean": 0.0,
+                "p50": 0.0, "p95": 0.0, "p99": 0.0, "max": 0.0}
+    p50, p95, p99 = np.percentile(arr, [50.0, 95.0, 99.0])
+    return {
+        "count": int(arr.size),
+        "unit": unit,
+        "mean": float(arr.mean()),
+        "p50": float(p50),
+        "p95": float(p95),
+        "p99": float(p99),
+        "max": float(arr.max()),
+    }
+
+
 def emit(results_dir: pathlib.Path, name: str, text: str) -> None:
     """Write one reproduced artefact and echo it."""
     (results_dir / name).write_text(text + "\n")

@@ -17,6 +17,10 @@ Commands
 ``reproduce``
     Regenerate every paper artefact (figures and tables) and write them
     to a directory (default ``./results``).
+``serve``
+    Run the solver service against seeded synthetic traffic (Poisson or
+    bursty arrivals) on the deterministic virtual clock and print the
+    throughput/latency/QoS report.
 """
 
 from __future__ import annotations
@@ -188,6 +192,66 @@ def _run_search(args, extra_batches=()):
     return policy
 
 
+def _cmd_serve(args) -> int:
+    from repro.service import (
+        CoalescePolicy,
+        QosPolicy,
+        TenantSpec,
+        TrafficPattern,
+        WorkloadSpec,
+        serve_traffic,
+    )
+
+    pattern = TrafficPattern(
+        kind=args.traffic,
+        rate_hz=args.rate,
+        burst_rate_hz=4 * args.rate,
+        duration_s=args.duration,
+        seed=args.seed,
+    )
+    spec = WorkloadSpec(
+        num_rows=args.num_rows,
+        systems_choices=(1, 2),
+        tenants=(("interactive", 3.0), ("batch", 1.0)),
+    )
+    qos = QosPolicy(
+        capacity=args.capacity,
+        tenants=(
+            TenantSpec("interactive", weight=3.0, deadline_s=args.deadline),
+            TenantSpec("batch", weight=1.0, deadline_s=5 * args.deadline),
+        ),
+    )
+    coalesce = CoalescePolicy(
+        max_batch=args.max_batch, max_wait_s=args.max_wait, naive=args.naive,
+    )
+    run = serve_traffic(pattern, spec, qos=qos, coalesce=coalesce,
+                        num_ranks=args.ranks)
+    r = run.report
+    mode = "naive per-request" if args.naive else \
+        f"coalesced (max_batch={args.max_batch}, max_wait={args.max_wait * 1e3:g} ms)"
+    lats = sorted(r.latencies)
+    p = (lambda q: lats[min(len(lats) - 1, int(q * len(lats)))] * 1e3) \
+        if lats else (lambda q: 0.0)
+    print(f"{args.traffic} traffic, {args.rate:g}/s for "
+          f"{args.duration * 1e3:g} ms (seed {args.seed}), {mode}:")
+    print(f"  submitted {r.submitted}, completed {r.completed} "
+          f"({r.completed_systems} systems), degraded {r.degraded}, "
+          f"shed {r.shed}")
+    print(f"  batches {r.batches} (mean size {r.mean_batch_size:.1f}), "
+          f"compactions {r.compaction_events}, flushes {dict(r.flush_reasons)}")
+    print(f"  throughput {r.throughput:,.0f} systems/s over "
+          f"{r.makespan_s * 1e3:.2f} ms makespan "
+          f"(device busy {r.device_busy_s * 1e3:.2f} ms)")
+    print(f"  latency p50/p95/p99: {p(0.50):.2f} / {p(0.95):.2f} / "
+          f"{p(0.99):.2f} ms; deadline misses {r.deadline_misses} "
+          f"({r.deadline_miss_rate:.2%})")
+    for tenant in sorted(r.tenant_completed):
+        print(f"  tenant {tenant}: {r.tenant_completed[tenant]} done, "
+              f"{r.tenant_shed.get(tenant, 0)} shed, health "
+              f"{dict(r.tenant_health.get(tenant, {}))}")
+    return 0
+
+
 def _cmd_reproduce(args) -> int:
     from repro.experiments import run_all
 
@@ -252,6 +316,31 @@ def main(argv=None) -> int:
     rep.add_argument("--out", default="results", help="output directory")
     rep.add_argument("--quiet", action="store_true",
                      help="suppress per-artefact output")
+    serve = sub.add_parser(
+        "serve", help="solver service under seeded synthetic traffic"
+    )
+    serve.add_argument("--traffic", choices=("poisson", "bursty"),
+                       default="poisson", help="arrival process")
+    serve.add_argument("--rate", type=float, default=50_000.0,
+                       help="mean arrival rate (requests/s)")
+    serve.add_argument("--duration", type=float, default=10e-3,
+                       help="arrival window in virtual seconds")
+    serve.add_argument("--seed", type=int, default=2022,
+                       help="traffic seed (same seed -> identical run)")
+    serve.add_argument("--num-rows", type=int, default=128,
+                       help="system size of the synthetic workload")
+    serve.add_argument("--max-batch", type=int, default=64,
+                       help="coalescer flush size (systems)")
+    serve.add_argument("--max-wait", type=float, default=2e-3,
+                       help="coalescer max wait in virtual seconds")
+    serve.add_argument("--deadline", type=float, default=10e-3,
+                       help="interactive-tenant deadline (virtual seconds)")
+    serve.add_argument("--capacity", type=int, default=4096,
+                       help="QoS backlog bound (requests)")
+    serve.add_argument("--ranks", type=int, default=1,
+                       help="simulated GPUs to shard batches across")
+    serve.add_argument("--naive", action="store_true",
+                       help="dispatch every request alone (baseline mode)")
 
     args = parser.parse_args(argv)
     return {
@@ -260,6 +349,7 @@ def main(argv=None) -> int:
         "picard": _cmd_picard,
         "tune": _cmd_tune,
         "reproduce": _cmd_reproduce,
+        "serve": _cmd_serve,
     }[args.command](args)
 
 

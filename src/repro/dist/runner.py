@@ -17,6 +17,7 @@ fall back to the sequential path automatically.
 
 from __future__ import annotations
 
+import atexit
 import concurrent.futures
 import os
 import pickle
@@ -30,7 +31,45 @@ from ..gpu.timing import estimate_iterative_solve
 from ..xgc.picard import PicardStepper
 from .partition import Partition, partition_batch
 
-__all__ = ["RankResult", "DistributedRun", "run_distributed"]
+__all__ = ["RankResult", "DistributedRun", "run_distributed",
+           "shared_executor", "shutdown_executor"]
+
+
+#: Lazily-created process pool shared across :func:`run_distributed` calls.
+#: Spawning a pool costs tens of milliseconds of fork/spawn overhead *per
+#: call* — a benchmark sweep of hundreds of distributed steps used to pay
+#: it every time.  The pool is keyed by its worker count: asking for a
+#: different size replaces it.
+_POOL: concurrent.futures.ProcessPoolExecutor | None = None
+_POOL_WORKERS: int = 0
+
+
+def shared_executor(max_workers: int) -> concurrent.futures.ProcessPoolExecutor:
+    """The shared process pool, (re)created on first use or size change.
+
+    The pool persists across calls and is torn down at interpreter exit
+    (or explicitly via :func:`shutdown_executor`).  A pool that broke —
+    e.g. a worker died — is replaced on the next request.
+    """
+    global _POOL, _POOL_WORKERS
+    if _POOL is not None and _POOL_WORKERS != max_workers:
+        shutdown_executor()
+    if _POOL is None:
+        _POOL = concurrent.futures.ProcessPoolExecutor(max_workers=max_workers)
+        _POOL_WORKERS = max_workers
+    return _POOL
+
+
+def shutdown_executor() -> None:
+    """Tear down the shared pool (idempotent; safe without one)."""
+    global _POOL, _POOL_WORKERS
+    if _POOL is not None:
+        _POOL.shutdown(wait=True, cancel_futures=True)
+        _POOL = None
+        _POOL_WORKERS = 0
+
+
+atexit.register(shutdown_executor)
 
 
 @dataclass
@@ -100,10 +139,43 @@ class DistributedRun:
                 )
         return self.partition.gather(slices)
 
-    def health_counts(self) -> dict:
+    def health_counts(self, *, unreported: str = "converged") -> dict:
         """Worst-health histogram across all ranks (the MPI-reduce analogue:
-        each rank reduces locally, the counts merge here)."""
-        return health_counts(self.gather_health())
+        each rank reduces locally, the counts merge here).
+
+        Runs routinely mix ranks whose stepper tracks health with ranks
+        whose stepper does not (``health=None``); ``unreported`` says how
+        the silent ranks' systems enter the histogram:
+
+        * ``"converged"`` (default) — counted as CONVERGED, the historical
+          behaviour (a non-reporting stepper raises on failure, so its
+          surviving systems did converge);
+        * ``"skip"`` — left out of the histogram entirely;
+        * ``"count"`` — tallied under an explicit ``"unreported"`` key.
+        """
+        if unreported == "converged":
+            return health_counts(self.gather_health())
+        if unreported not in ("skip", "count"):
+            raise ValueError(
+                f"unreported must be 'converged', 'skip' or 'count', "
+                f"got {unreported!r}"
+            )
+        reported = [
+            np.asarray(r.health, dtype=HEALTH_DTYPE)
+            for r in self.rank_results
+            if r.health is not None
+        ]
+        counts = (
+            health_counts(np.concatenate(reported)) if reported else {}
+        )
+        missing = sum(
+            r.f_new.shape[0]
+            for r in self.rank_results
+            if r.health is None
+        )
+        if unreported == "count" and missing:
+            counts["unreported"] = missing
+        return counts
 
     @property
     def worst_health(self) -> int:
@@ -131,19 +203,27 @@ def _rank_task(stepper_factory, idx, f_slice, dt):
     )
 
 
-def _run_ranks_parallel(stepper_factory, jobs, f0, dt, max_workers):
+def _run_ranks_parallel(stepper_factory, jobs, f0, dt, max_workers,
+                        executor=None):
     """Execute ``(rank, idx)`` jobs on a process pool; returns {rank: output}.
 
-    Raises whatever pickling/pool error the executor produced so the caller
-    can fall back to sequential execution.
+    Uses ``executor`` when given, else the module's shared pool (created
+    once, reused across calls).  Raises whatever pickling/pool error the
+    executor produced so the caller can fall back to sequential execution;
+    a broken shared pool is discarded so the next call gets a fresh one.
     """
     workers = max_workers or min(len(jobs), os.cpu_count() or 1)
-    with concurrent.futures.ProcessPoolExecutor(max_workers=workers) as pool:
+    pool = executor if executor is not None else shared_executor(workers)
+    try:
         futures = {
             rank: pool.submit(_rank_task, stepper_factory, idx, f0[idx], dt)
             for rank, idx in jobs
         }
         return {rank: fut.result() for rank, fut in futures.items()}
+    except concurrent.futures.BrokenExecutor:
+        if executor is None:
+            shutdown_executor()
+        raise
 
 
 def run_distributed(
@@ -160,6 +240,7 @@ def run_distributed(
     parallel: bool | None = None,
     parallel_threshold: int = 64,
     max_workers: int | None = None,
+    executor: concurrent.futures.Executor | None = None,
 ) -> DistributedRun:
     """Run one collision step decomposed over simulated ranks.
 
@@ -190,6 +271,11 @@ def run_distributed(
     max_workers:
         Process-pool size cap (default: one worker per non-empty rank, up
         to the CPU count).
+    executor:
+        Externally-owned executor to run rank tasks on (its lifecycle is
+        the caller's).  Default ``None`` uses the module's shared pool —
+        created once and reused across calls, since pool start-up costs
+        more than a small batch's entire solve.
     """
     num_batch = f0.shape[0]
     n = f0.shape[1] if num_rows is None else num_rows
@@ -207,7 +293,9 @@ def run_distributed(
     outputs: dict[int, tuple] = {}
     if use_parallel:
         try:
-            outputs = _run_ranks_parallel(stepper_factory, jobs, f0, dt, max_workers)
+            outputs = _run_ranks_parallel(
+                stepper_factory, jobs, f0, dt, max_workers, executor
+            )
         except (pickle.PicklingError, AttributeError, TypeError,
                 concurrent.futures.BrokenExecutor):
             outputs = {}  # unpicklable factory or broken pool: run in-process

@@ -1,0 +1,78 @@
+"""Solver-as-a-service: async streaming batch scheduler with QoS.
+
+The service turns the repo's batched solvers into a multi-tenant streaming
+facility: concurrent tenants submit individual solve requests; a dynamic
+coalescer groups compatible requests into large hardware batches (the GPU
+cost model bills a 64-system batch barely more than a 1-system one, so
+coalescing is where the throughput lives); a QoS layer provides weighted
+fair scheduling, per-tenant deadlines and shed-or-degrade backpressure;
+and a dispatcher runs the real host numerics while billing virtual
+wall-clock from the sync-aware GPU model, the PCIe transfer model and the
+multi-GPU node model.
+
+Everything is timed by a deterministic virtual clock — identical traffic
+seeds produce identical schedules, latencies and results.
+"""
+
+from .clock import VirtualClock
+from .coalescer import (
+    CoalescedBatch,
+    CoalescePolicy,
+    Coalescer,
+    CompatKey,
+    compat_key,
+    concat_requests,
+)
+from .dispatcher import Dispatcher, DispatchReport
+from .qos import ADMIT, DEGRADE, SHED, FairScheduler, QosPolicy, TenantSpec
+from .queue import (
+    AdmissionQueue,
+    RequestShed,
+    SolveRequest,
+    SolveTicket,
+    TicketResult,
+)
+from .service import ServiceReport, SolverService
+from .traffic import (
+    TrafficPattern,
+    TrafficRun,
+    WorkloadSpec,
+    arrival_times,
+    make_request,
+    run_traffic,
+    serve_traffic,
+    tridiag_template,
+)
+
+__all__ = [
+    "ADMIT",
+    "AdmissionQueue",
+    "CoalescedBatch",
+    "CoalescePolicy",
+    "Coalescer",
+    "CompatKey",
+    "DEGRADE",
+    "DispatchReport",
+    "Dispatcher",
+    "FairScheduler",
+    "QosPolicy",
+    "RequestShed",
+    "SHED",
+    "ServiceReport",
+    "SolveRequest",
+    "SolveTicket",
+    "SolverService",
+    "TenantSpec",
+    "TicketResult",
+    "TrafficPattern",
+    "TrafficRun",
+    "VirtualClock",
+    "WorkloadSpec",
+    "arrival_times",
+    "compat_key",
+    "concat_requests",
+    "make_request",
+    "run_traffic",
+    "serve_traffic",
+    "tridiag_template",
+]

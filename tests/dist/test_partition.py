@@ -69,6 +69,53 @@ class TestPartitionBatch:
         assert np.array_equal(p.gather(p.scatter(data)), data)
 
 
+class TestPartitionEdgeCases:
+    """Edge cases the solver service's sharding path leans on."""
+
+    def test_empty_shards_when_ranks_exceed_batch(self, rng):
+        """num_ranks > num_batch leaves trailing ranks with empty shards
+        that still scatter/gather cleanly."""
+        p = partition_batch(3, 8, scheme="block")
+        counts = p.counts()
+        assert counts.sum() == 3
+        assert (counts[3:] == 0).all()
+        for rank in range(3, 8):
+            assert p.indices_of(rank).size == 0
+        data = rng.standard_normal((3, 5))
+        parts = p.scatter(data)
+        assert len(parts) == 8
+        assert all(parts[r].shape == (0, 5) for r in range(3, 8))
+        np.testing.assert_array_equal(p.gather(parts), data)
+
+    def test_remainder_distribution_deterministic(self):
+        """The remainder always lands on the first ranks, identically on
+        every call — scheduling decisions built on it are reproducible."""
+        for num_batch, num_ranks in [(10, 4), (23, 5), (7, 7), (100, 9)]:
+            a = partition_batch(num_batch, num_ranks)
+            b = partition_batch(num_batch, num_ranks)
+            np.testing.assert_array_equal(a.assignments, b.assignments)
+            counts = a.counts()
+            extra = num_batch % num_ranks
+            if extra:
+                assert (counts[:extra] == counts.max()).all()
+                assert (counts[extra:] == counts.max() - 1).all()
+
+    def test_reassembly_in_request_order_not_completion_order(self, rng):
+        """Ranks finishing in any order must not reorder the batch: gather
+        keys on the partition, not on arrival sequence."""
+        p = partition_batch(17, 4, scheme="cyclic")
+        data = rng.standard_normal((17, 3))
+        shards = {r: data[p.indices_of(r)] for r in range(4)}
+        # Simulate out-of-order completion: build the per-rank list from a
+        # scrambled completion sequence.
+        completion_order = [2, 0, 3, 1]
+        done = {}
+        for r in completion_order:
+            done[r] = shards[r]
+        back = p.gather([done[r] for r in range(4)])
+        np.testing.assert_array_equal(back, data)
+
+
 class TestImbalance:
     def test_perfect_for_divisible(self):
         p = partition_batch(40, 8)

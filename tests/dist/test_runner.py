@@ -5,7 +5,15 @@ import functools
 import numpy as np
 import pytest
 
+from repro.core.faults import HEALTH_DTYPE, SolverHealth
 from repro.dist import run_distributed
+from repro.dist.partition import partition_batch
+from repro.dist.runner import (
+    DistributedRun,
+    RankResult,
+    shared_executor,
+    shutdown_executor,
+)
 from repro.xgc import PicardStepper, VelocityGrid, CollisionStencil, maxwellian
 from repro.xgc.species import DEUTERON, ELECTRON
 
@@ -115,3 +123,95 @@ class TestParallelExecution:
             factory, f0, 0.05, 2, parallel=None, parallel_threshold=64
         )
         assert run.gather_f().shape == f0.shape
+
+
+class TestSharedExecutor:
+    def test_pool_is_reused_across_calls(self):
+        """The whole point of the cache: same worker count, same object."""
+        shutdown_executor()
+        a = shared_executor(2)
+        b = shared_executor(2)
+        assert a is b
+        assert a.submit(min, 1, 2).result() == 1
+        shutdown_executor()
+
+    def test_size_change_replaces_pool(self):
+        shutdown_executor()
+        a = shared_executor(1)
+        b = shared_executor(2)
+        assert a is not b
+        assert b.submit(max, 1, 2).result() == 2
+        shutdown_executor()
+
+    def test_shutdown_idempotent(self):
+        shutdown_executor()
+        shutdown_executor()
+        assert shared_executor(1).submit(min, 3, 4).result() == 3
+        shutdown_executor()
+
+    def test_external_executor_honoured(self, setup):
+        """A caller-owned executor is used and left running."""
+        import concurrent.futures
+
+        grid, masses, f0, _ = setup
+        factory = functools.partial(_spawnable_factory, masses)
+        with concurrent.futures.ProcessPoolExecutor(max_workers=2) as pool:
+            seq = run_distributed(f0=f0, dt=0.05, num_ranks=2,
+                                  stepper_factory=factory, parallel=False)
+            par = run_distributed(f0=f0, dt=0.05, num_ranks=2,
+                                  stepper_factory=factory, parallel=True,
+                                  executor=pool)
+            np.testing.assert_allclose(
+                par.gather_f(), seq.gather_f(), rtol=1e-12, atol=1e-14
+            )
+            # The caller's pool must survive the call.
+            assert pool.submit(min, 1, 2).result() == 1
+
+
+def _mixed_health_run():
+    """Two reporting ranks + one silent rank (health=None)."""
+    part = partition_batch(6, 3, scheme="block")
+    h0 = np.array([SolverHealth.CONVERGED, SolverHealth.DIVERGED],
+                  dtype=HEALTH_DTYPE)
+    h2 = np.array([SolverHealth.STAGNATED, SolverHealth.CONVERGED],
+                  dtype=HEALTH_DTYPE)
+    ranks = [
+        RankResult(0, np.zeros((2, 4)), np.zeros((1, 2)), 1.0, h0),
+        RankResult(1, np.zeros((2, 4)), np.zeros((1, 2)), 1.0, None),
+        RankResult(2, np.zeros((2, 4)), np.zeros((1, 2)), 1.0, h2),
+    ]
+    return DistributedRun(partition=part, rank_results=ranks)
+
+
+class TestHealthCountsUnreported:
+    def test_default_counts_silent_ranks_as_converged(self):
+        run = _mixed_health_run()
+        counts = run.health_counts()
+        assert counts == {"converged": 4, "stagnated": 1, "diverged": 1}
+
+    def test_skip_drops_silent_ranks(self):
+        run = _mixed_health_run()
+        counts = run.health_counts(unreported="skip")
+        assert counts == {"converged": 2, "stagnated": 1, "diverged": 1}
+
+    def test_count_surfaces_silent_ranks_explicitly(self):
+        run = _mixed_health_run()
+        counts = run.health_counts(unreported="count")
+        assert counts == {
+            "converged": 2, "stagnated": 1, "diverged": 1, "unreported": 2,
+        }
+
+    def test_all_silent(self):
+        part = partition_batch(2, 1)
+        run = DistributedRun(
+            partition=part,
+            rank_results=[RankResult(0, np.zeros((2, 4)),
+                                     np.zeros((1, 2)), 1.0, None)],
+        )
+        assert run.health_counts(unreported="skip") == {}
+        assert run.health_counts(unreported="count") == {"unreported": 2}
+        assert run.health_counts() == {"converged": 2}
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError):
+            _mixed_health_run().health_counts(unreported="ignore")

@@ -1,0 +1,113 @@
+"""Tests for the deterministic virtual clock."""
+
+import asyncio
+
+import pytest
+
+from repro.service import VirtualClock
+
+from .conftest import drive
+
+
+class TestVirtualClock:
+    def test_sleep_advances_virtual_time_only(self):
+        async def main(clock):
+            assert clock.now == 0.0
+            await clock.sleep(1.5)
+            return clock.now
+
+        assert drive(main) == 1.5
+
+    def test_timers_fire_in_time_order(self):
+        async def main(clock):
+            order = []
+
+            async def at(t, tag):
+                await clock.sleep_until(t)
+                order.append((tag, clock.now))
+
+            await asyncio.gather(at(3.0, "c"), at(1.0, "a"), at(2.0, "b"))
+            return order
+
+        assert drive(main) == [("a", 1.0), ("b", 2.0), ("c", 3.0)]
+
+    def test_simultaneous_timers_fire_in_creation_order(self):
+        async def main(clock):
+            order = []
+
+            async def at(tag):
+                await clock.sleep_until(5.0)
+                order.append(tag)
+
+            await asyncio.gather(at("first"), at("second"), at("third"))
+            return order
+
+        assert drive(main) == ["first", "second", "third"]
+
+    def test_past_deadline_fires_without_rewinding(self):
+        async def main(clock):
+            await clock.sleep(2.0)
+            await clock.sleep_until(1.0)  # already in the past
+            return clock.now
+
+        assert drive(main) == 2.0
+
+    def test_deadlock_detected(self):
+        async def main(clock):
+            await asyncio.get_running_loop().create_future()  # never set
+
+        with pytest.raises(RuntimeError, match="deadlock"):
+            drive(main)
+
+    def test_event_wakes_before_timeout(self):
+        async def main(clock):
+            event = asyncio.Event()
+
+            async def setter():
+                await clock.sleep(1.0)
+                event.set()
+
+            task = asyncio.ensure_future(setter())
+            await clock.wait_event_or_until(event, 10.0)
+            await task
+            return clock.now
+
+        assert drive(main) == 1.0
+
+    def test_timeout_wakes_without_event(self):
+        async def main(clock):
+            event = asyncio.Event()
+            await clock.wait_event_or_until(event, 2.5)
+            return clock.now, event.is_set()
+
+        assert drive(main) == (2.5, False)
+
+    def test_cancelled_timers_are_skipped(self):
+        async def main(clock):
+            fut = clock.sleep_until(1.0)
+            fut.cancel()
+            await clock.sleep_until(2.0)
+            return clock.now
+
+        assert drive(main) == 2.0
+
+    def test_nested_wakeups_drain_before_time_advances(self):
+        """Work scheduled by a timer callback runs before the next timer."""
+        async def main(clock):
+            log = []
+
+            async def chained():
+                await clock.sleep_until(1.0)
+                log.append(("wake", clock.now))
+                await asyncio.sleep(0)  # stays at t=1
+                log.append(("still", clock.now))
+
+            async def later():
+                await clock.sleep_until(1.0 + 1e-9)
+                log.append(("later", clock.now))
+
+            await asyncio.gather(chained(), later())
+            return log
+
+        log = drive(main)
+        assert [tag for tag, _ in log] == ["wake", "still", "later"]

@@ -37,7 +37,7 @@ import sys
 import time
 
 from repro.core.solvers.schedule import _FIXED_SCHEDULES, solver_schedule
-from repro.gpu import GPUS
+from repro.gpu import TABLE1_GPUS
 from repro.tune import (
     CostModelEnv,
     HillClimbAgent,
@@ -112,7 +112,7 @@ def main(argv=None) -> int:
     logger = TrajectoryLogger()
     t0 = time.perf_counter()
     policy = distill_policy(
-        GPUS, scenario, GRID_BATCHES,
+        TABLE1_GPUS, scenario, GRID_BATCHES,
         agent_factory=lambda budget, seed: HillClimbAgent(
             budget=budget, seed=seed, temperature=0.05),
         budget=args.budget, seed=args.seed, logger=logger,
@@ -136,7 +136,7 @@ def main(argv=None) -> int:
     win_fraction = wins / len(cells)
 
     # -- throughput at the largest batch (worst case) ------------------
-    rate_env = CostModelEnv(GPUS[0], scenario, max(GRID_BATCHES))
+    rate_env = CostModelEnv(TABLE1_GPUS[0], scenario, max(GRID_BATCHES))
     evals_per_sec, rate_evals = measure_eval_rate(rate_env, space)
 
     # -- memoization micro-benchmark -----------------------------------
@@ -173,7 +173,7 @@ def main(argv=None) -> int:
     args.output.write_text(json.dumps(report, indent=2) + "\n")
 
     print(f"Autotuning gate: {len(cells)} grid cells "
-          f"({len(GRID_BATCHES)} batches x {len(GPUS)} GPUs), "
+          f"({len(GRID_BATCHES)} batches x {len(TABLE1_GPUS)} GPUs), "
           f"space of {space.size()} configs, budget {args.budget}/cell:")
     worst = min(cells, key=lambda c: c["relative_gain"])
     best = max(cells, key=lambda c: c["relative_gain"])

@@ -34,7 +34,7 @@ from repro.core.solvers.schedule import (
     solver_schedule,
 )
 from repro.experiments import fig6
-from repro.gpu import A100, GPUS, estimate_iterative_solve
+from repro.gpu import A100, TABLE1_GPUS, estimate_iterative_solve
 
 from conftest import BATCH_SIZES, emit
 
@@ -71,7 +71,7 @@ def test_fig6_shape_claims(benchmark):
     assert big["A100-ell"] == min(big.values())
     assert big["Skylake-dgbsv"] < big["MI100-csr"]
     assert big["Skylake-dgbsv"] < big["V100-qr"]
-    for hw in GPUS:
+    for hw in TABLE1_GPUS:
         assert big[f"{hw.name}-ell"] < big[f"{hw.name}-csr"]
         assert big[f"{hw.name}-ell"] < big["Skylake-dgbsv"]
     # Per-entry time decreases with batch size (right panel trend).

@@ -11,7 +11,7 @@ import numpy as np
 from repro.experiments import fig9
 from repro.experiments.common import measured_picard
 from repro.experiments.figures import _picard_gpu_total
-from repro.gpu import GPUS, SKYLAKE_NODE, estimate_cpu_dgbsv
+from repro.gpu import SKYLAKE_NODE, TABLE1_GPUS, estimate_cpu_dgbsv
 
 from conftest import emit
 
@@ -24,7 +24,7 @@ def test_fig9_speedups(benchmark, results_dir):
     # Every GPU beats the CPU baseline by a solid factor at scale
     # (paper band: 4x to ~9x; our model spans ~4-25x, see EXPERIMENTS.md).
     final = {name: series[-1][1] for name, series in combined.items()}
-    for hw in GPUS:
+    for hw in TABLE1_GPUS:
         assert final[hw.name] > 3.5, hw.name
     assert final["MI100"] == min(final.values())
     assert final["A100"] == max(final.values())
@@ -39,7 +39,7 @@ def test_fig9_ion_speedup_largest(benchmark):
     t_cpu = 5 * estimate_cpu_dgbsv(SKYLAKE_NODE, 992, 33, 33, nb).total_time_s
 
     def ratio():
-        v100 = GPUS[0]
+        v100 = TABLE1_GPUS[0]
         s_ion = t_cpu / _picard_gpu_total(
             step, v100, nb, nnz, "ell", select=slice(1, None, ns)
         )

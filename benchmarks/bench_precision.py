@@ -37,7 +37,7 @@ import numpy as np
 from repro.core import to_format
 from repro.core.solvers import BatchBicgstab, RefinementSolver
 from repro.core.stop import AbsoluteResidual, RelativeResidual
-from repro.gpu import GPUS, estimate_iterative_solve
+from repro.gpu import TABLE1_GPUS, estimate_iterative_solve
 from repro.xgc import CollisionProxyApp, PicardOptions, ProxyAppConfig
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
@@ -151,7 +151,7 @@ def gpu_model_sweep(num_batch: int = 1000, iterations: float = 20.0) -> list:
     """Modeled solve time at fp64 vs fp32 for every GPU x format combo."""
     iters = np.full(num_batch, iterations)
     combos = []
-    for hw in GPUS:
+    for hw in TABLE1_GPUS:
         for fmt in SPARSE_FORMATS:
             stored = None if fmt == "csr" else STORED_NNZ
             t64 = estimate_iterative_solve(

@@ -7,7 +7,7 @@ paper and suppressed here the same way).  Generator:
 """
 
 from repro.experiments import table2
-from repro.gpu import GPUS
+from repro.gpu import TABLE1_GPUS
 
 from conftest import emit
 
@@ -19,7 +19,7 @@ def test_table2_metrics(benchmark, results_dir):
     by_key = {(m.platform, m.fmt): m for m in result.data["rows"]}
     # Paper orderings: ELL uses warps far better than CSR everywhere,
     # ELL sits in the 94-100 band, MI100 CSR is the worst row.
-    for hw in GPUS:
+    for hw in TABLE1_GPUS:
         assert (
             by_key[(hw.name, "ELL")].warp_utilization
             > by_key[(hw.name, "CSR")].warp_utilization

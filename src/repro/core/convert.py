@@ -31,6 +31,7 @@ __all__ = [
     "dense_to_ell",
     "csr_to_dia",
     "dia_to_csr",
+    "tridiag_to_dia",
     "ell_to_dia",
     "dia_to_ell",
     "dia_to_dense",
@@ -201,6 +202,21 @@ def dense_to_dia(matrix: BatchDense, *, tol: float = 0.0) -> BatchDia:
     return BatchDia.from_dense(matrix.values, tol=tol)
 
 
+def tridiag_to_dia(tri) -> BatchDia:
+    """Expand the interleaved tridiagonal layout into a 3-diagonal DIA.
+
+    Duck-typed on ``bands()`` so the converter needs no import of
+    :mod:`repro.core.solvers.tridiag` (which imports this module).
+    """
+    dl, d, du = tri.bands()
+    nb, n = d.shape
+    values = np.zeros((nb, 3, n), dtype=d.dtype)
+    values[:, 0, 1:] = dl  # offset -1: position r holds (r, r-1)
+    values[:, 1, :] = d
+    values[:, 2, :-1] = du  # offset +1: position r holds (r, r+1)
+    return BatchDia(n, np.array([-1, 0, 1], dtype=INDEX_DTYPE), values)
+
+
 _CONVERTERS = {
     ("csr", "ell"): csr_to_ell,
     ("csr", "dense"): csr_to_dense,
@@ -214,6 +230,10 @@ _CONVERTERS = {
     ("dia", "csr"): dia_to_csr,
     ("dia", "ell"): dia_to_ell,
     ("dia", "dense"): dia_to_dense,
+    ("tridiag", "dia"): tridiag_to_dia,
+    ("tridiag", "csr"): lambda t: dia_to_csr(tridiag_to_dia(t)),
+    ("tridiag", "ell"): lambda t: dia_to_ell(tridiag_to_dia(t)),
+    ("tridiag", "dense"): lambda t: dia_to_dense(tridiag_to_dia(t)),
 }
 
 

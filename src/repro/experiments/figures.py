@@ -6,8 +6,8 @@ from __future__ import annotations
 from ..core.solvers.schedule import iterative_solver_names
 from ..gpu import (
     A100,
-    GPUS,
     SKYLAKE_NODE,
+    TABLE1_GPUS,
     V100,
     estimate_cpu_dgbsv,
     estimate_direct_qr,
@@ -119,15 +119,20 @@ def fig4(num_mesh_nodes: int = 2) -> ExperimentResult:
     )
 
 
-def fig6() -> ExperimentResult:
-    """Fig. 6 — solve time vs batch size, all solvers/formats/platforms."""
+def fig6(gpus: tuple = TABLE1_GPUS) -> ExperimentResult:
+    """Fig. 6 — solve time vs batch size, all solvers/formats/platforms.
+
+    ``gpus`` defaults to the paper's Table I targets so the reproduction
+    artifact stays pinned; pass :data:`repro.gpu.GPUS` (or any subset) to
+    regenerate the crossover study on the extended hardware zoo.
+    """
     app, solve = measured_zero_guess()
     nnz = app.stencil.nnz
     rows: dict[int, dict[str, float]] = {}
     for nb in BATCH_SIZES:
         its = tile_iterations(solve.iterations, nb)
         entry: dict[str, float] = {}
-        for hw in GPUS:
+        for hw in gpus:
             for fmt, stored in (("csr", None), ("ell", STORED_ELL)):
                 entry[f"{hw.name}-{fmt}"] = estimate_iterative_solve(
                     hw, fmt, N_ROWS, nnz, its, stored_nnz=stored
@@ -170,7 +175,7 @@ def fig6() -> ExperimentResult:
     pipelined: dict[str, dict] = {}
     crossover_lines = []
     for family, (classic, pipe) in families.items():
-        for hw in GPUS:
+        for hw in gpus:
             # variant_estimates is the single pricing path shared with
             # choose_solver_variant and the autotuning gym, so this inset
             # plots exactly the numbers the tuner acts on.
@@ -311,16 +316,16 @@ def fig9() -> ExperimentResult:
     app, warm = measured_picard(warm_start=True)
     nnz = app.stencil.nnz
     ns = len(app.config.species)
-    combined: dict[str, list] = {hw.name: [] for hw in GPUS}
+    combined: dict[str, list] = {hw.name: [] for hw in TABLE1_GPUS}
     lines = [f"{'batch':>6} "
-             + " ".join(f"{hw.name + ' comb':>11}" for hw in GPUS)
+             + " ".join(f"{hw.name + ' comb':>11}" for hw in TABLE1_GPUS)
              + f" {'V100 ion':>11} {'V100 e-':>11}"]
     for nb in BATCH_SIZES:
         t_cpu = 5 * estimate_cpu_dgbsv(
             SKYLAKE_NODE, N_ROWS, KL, KU, nb
         ).total_time_s
         row = [f"{nb:>6}"]
-        for hw in GPUS:
+        for hw in TABLE1_GPUS:
             s = t_cpu / _picard_gpu_total(warm, hw, nb, nnz, "ell")
             combined[hw.name].append((nb, s))
             row.append(f"{s:11.2f}")

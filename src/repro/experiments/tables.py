@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from ..gpu import GPUS, SKYLAKE_NODE, collect_metrics, metrics_table
+from ..gpu import SKYLAKE_NODE, TABLE1_GPUS, collect_metrics, metrics_table
 from .common import (
     N_ROWS,
     STORED_ELL,
@@ -22,7 +22,7 @@ def table1() -> ExperimentResult:
         f"{'(L1+sh)/CU KB':>14} {'L2 MB':>6} {'CUs':>5}"
     ]
     rows = {}
-    for hw in GPUS:
+    for hw in TABLE1_GPUS:
         rows[hw.name] = {
             "tflops": hw.peak_fp64_tflops, "bw": hw.mem_bw_gbs,
             "l1_kib": hw.l1_shared_per_cu_kib, "l2_mib": hw.l2_mib,
@@ -51,7 +51,7 @@ def table2(num_batch: int = 960) -> ExperimentResult:
     app, solve = measured_zero_guess()
     its = tile_iterations(solve.iterations, num_batch)
     rows = []
-    for hw in GPUS:
+    for hw in TABLE1_GPUS:
         for fmt, stored in (("csr", None), ("ell", STORED_ELL)):
             rows.append(
                 collect_metrics(

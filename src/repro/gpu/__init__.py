@@ -9,7 +9,19 @@ and CPU-baseline costs.
 """
 
 from .cpu_model import CpuSolveEstimate, estimate_cpu_dgbsv, estimate_cpu_iterative
-from .hardware import A100, GPUS, MI100, SKYLAKE_NODE, V100, CpuSpec, GpuSpec
+from .hardware import (
+    A100,
+    GPUS,
+    H100,
+    MI100,
+    MI250X,
+    PVC,
+    SKYLAKE_NODE,
+    TABLE1_GPUS,
+    V100,
+    CpuSpec,
+    GpuSpec,
+)
 from .kernel import (
     KernelWork,
     banded_lu_work,
@@ -18,6 +30,8 @@ from .kernel import (
     escalation_work,
     iteration_work,
     kernel_launches,
+    reduction_phase_count,
+    reduction_round_scale,
     reduction_rounds,
     setup_work,
     spmv_work,
@@ -61,9 +75,13 @@ __all__ = [
     "CpuSpec",
     "V100",
     "A100",
+    "H100",
     "MI100",
+    "MI250X",
+    "PVC",
     "SKYLAKE_NODE",
     "GPUS",
+    "TABLE1_GPUS",
     "KernelWork",
     "spmv_work",
     "iteration_work",
@@ -73,6 +91,8 @@ __all__ = [
     "dense_lu_work",
     "escalation_work",
     "storage_for_solver",
+    "reduction_phase_count",
+    "reduction_round_scale",
     "reduction_rounds",
     "kernel_launches",
     "MemoryEstimate",

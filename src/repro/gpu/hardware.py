@@ -24,7 +24,19 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-__all__ = ["GpuSpec", "CpuSpec", "V100", "A100", "MI100", "SKYLAKE_NODE", "GPUS"]
+__all__ = [
+    "GpuSpec",
+    "CpuSpec",
+    "V100",
+    "A100",
+    "H100",
+    "MI100",
+    "MI250X",
+    "PVC",
+    "SKYLAKE_NODE",
+    "GPUS",
+    "TABLE1_GPUS",
+]
 
 KIB = 1024
 MIB = 1024 * 1024
@@ -70,6 +82,15 @@ class GpuSpec:
         markedly lower fraction than Volta/Ampere on such patterns).
     target_blocks_per_cu:
         Residency the §IV-D planner aims for when sizing shared memory.
+    subgroup_width:
+        SIMD width the *compiled kernels* use for the intra-block
+        reduction tree.  On CUDA/HIP targets this equals ``warp_size``
+        and has no effect.  Intel's SYCL backend compiles the batched
+        kernels SIMD16 even though Xe-HPC exposes 32-wide subgroups
+        (arXiv:2308.08417), so each shared-local-memory reduction needs
+        more barrier-separated phases: ``ceil(log_width(num_lanes))``
+        instead of ``ceil(log_warp(num_lanes))``.  ``0`` (the default)
+        means "same as ``warp_size``".
     """
 
     name: str
@@ -88,11 +109,40 @@ class GpuSpec:
     l2_bw_multiplier: float = 3.0
     bw_efficiency: float = 0.8
     target_blocks_per_cu: int = 2
+    subgroup_width: int = 0
 
     def __post_init__(self) -> None:
         if self.scheduling not in ("flexible", "wave"):
             raise ValueError(
                 f"scheduling must be 'flexible' or 'wave', got {self.scheduling!r}"
+            )
+        for field_name in ("peak_fp64_tflops", "mem_bw_gbs", "l2_mib"):
+            if getattr(self, field_name) <= 0:
+                raise ValueError(f"{field_name} must be positive")
+        for field_name in ("num_cus", "l1_shared_per_cu_kib",
+                           "max_shared_per_block_kib", "target_blocks_per_cu"):
+            if getattr(self, field_name) < 1:
+                raise ValueError(f"{field_name} must be >= 1")
+        if self.warp_size < 1 or self.warp_size & (self.warp_size - 1):
+            raise ValueError(f"warp_size must be a power of two, got {self.warp_size}")
+        if self.max_shared_per_block_kib > self.l1_shared_per_cu_kib:
+            raise ValueError(
+                "max_shared_per_block_kib cannot exceed l1_shared_per_cu_kib"
+            )
+        for field_name in ("fp64_efficiency", "bw_efficiency"):
+            if not 0.0 < getattr(self, field_name) <= 1.0:
+                raise ValueError(f"{field_name} must be in (0, 1]")
+        if self.subgroup_width == 0:
+            # Sentinel: kernels reduce at the native warp width.
+            object.__setattr__(self, "subgroup_width", self.warp_size)
+        if (
+            self.subgroup_width < 1
+            or self.subgroup_width & (self.subgroup_width - 1)
+            or self.subgroup_width > self.warp_size
+        ):
+            raise ValueError(
+                "subgroup_width must be a power of two <= warp_size, "
+                f"got {self.subgroup_width}"
             )
 
     # -- derived quantities --------------------------------------------------
@@ -219,6 +269,69 @@ MI100 = GpuSpec(
     target_blocks_per_cu=1,  # dispatch granularity observed in Fig. 6
 )
 
+#: NVIDIA H100-SXM5 (Hopper): 34 TF FP64 vector, HBM3 at 3.35 TB/s,
+#: 132 SMs, 256 KiB unified L1/shared per SM (227 KiB usable per block).
+#: Grid synchronisation is cheaper than Ampere's (thread-block clusters,
+#: faster atomics), and the HBM3 controllers sustain a slightly larger
+#: fraction of peak on the solvers' gather-plus-stream patterns.
+H100 = GpuSpec(
+    name="H100",
+    peak_fp64_tflops=34.0,
+    mem_bw_gbs=3350.0,
+    l1_shared_per_cu_kib=256,
+    l2_mib=50.0,
+    num_cus=132,
+    warp_size=32,
+    max_shared_per_block_kib=227,
+    scheduling="flexible",
+    sync_latency_us=2.5,
+    bw_efficiency=0.85,
+    l2_bw_multiplier=1.5,
+)
+
+#: AMD MI250X, a *single* GCD (the scheduling unit an MPI rank owns on
+#: Frontier): 23.95 TF FP64 vector, 1.6 TB/s HBM2e, 110 CUs.  CDNA2 keeps
+#: the 64 KiB LDS, 64-wide wavefronts and wave-style dispatch of the
+#: MI100, and the same markedly-low achieved bandwidth fraction on
+#: batched gather patterns.
+MI250X = GpuSpec(
+    name="MI250X",
+    peak_fp64_tflops=23.95,
+    mem_bw_gbs=1638.0,
+    l1_shared_per_cu_kib=80,  # 64 LDS + 16 L1, as on MI100
+    l2_mib=8.0,
+    num_cus=110,
+    warp_size=64,
+    max_shared_per_block_kib=64,
+    scheduling="wave",
+    sync_latency_us=5.0,
+    bw_efficiency=0.45,
+    target_blocks_per_cu=1,
+)
+
+#: Intel Data Center GPU Max 1550 ("Ponte Vecchio"), both stacks: 52 TF
+#: FP64 vector, 3.2 TB/s HBM2e, 128 Xe-cores with 128 KiB shared local
+#: memory each and a very large L2 (2 x 204 MiB).  The SYCL port of the
+#: batched solvers (arXiv:2308.08417) compiles the kernels SIMD16 while
+#: the hardware schedules 32-wide — ``subgroup_width=16`` bills the extra
+#: barrier phase per reduction round.  Software grid sync on Level Zero
+#: is costlier than CUDA's cooperative groups, and the early driver stack
+#: sustains a lower bandwidth fraction.
+PVC = GpuSpec(
+    name="PVC",
+    peak_fp64_tflops=52.0,
+    mem_bw_gbs=3276.8,
+    l1_shared_per_cu_kib=192,  # 128 KiB SLM + register-backed L1 slice
+    l2_mib=408.0,
+    num_cus=128,
+    warp_size=32,
+    max_shared_per_block_kib=128,
+    scheduling="flexible",
+    sync_latency_us=6.0,
+    bw_efficiency=0.55,
+    subgroup_width=16,
+)
+
 #: Dual-socket Intel Xeon Gold 6148 (Skylake) node, 38 of 40 cores used.
 SKYLAKE_NODE = CpuSpec(
     name="Skylake",
@@ -229,5 +342,10 @@ SKYLAKE_NODE = CpuSpec(
     cores_used=38,
 )
 
-#: All GPUs of the evaluation, in the paper's plotting order.
-GPUS = (V100, A100, MI100)
+#: The paper's Table I targets, in the paper's plotting order.  Paper
+#: reproduction artifacts (Table I/II, Fig. 9) stay pinned to this set.
+TABLE1_GPUS = (V100, A100, MI100)
+
+#: All GPUs the model knows, one vendor generation beyond Table I:
+#: paper targets first, then the hardware-zoo extensions.
+GPUS = (V100, A100, MI100, H100, MI250X, PVC)

@@ -33,6 +33,8 @@ __all__ = [
     "banded_qr_work",
     "escalation_work",
     "kernel_launches",
+    "reduction_phase_count",
+    "reduction_round_scale",
     "reduction_rounds",
     "storage_for_solver",
 ]
@@ -148,6 +150,43 @@ def reduction_rounds(schedule: OpSchedule, num_iterations: float) -> float:
     along in masked no-op form but the barrier still costs every block).
     """
     return schedule.setup_syncs + schedule.amortized("syncs") * num_iterations
+
+
+def reduction_phase_count(num_lanes: int, width: int) -> int:
+    """Barrier-separated phases of one block-wide reduction at SIMD ``width``.
+
+    Each phase reduces ``width`` partial sums per SIMD group via shuffles
+    (barrier-free), then the group leaders write to shared local memory
+    and a barrier separates the next phase: ``num_lanes`` lanes need
+    ``ceil(log_width(num_lanes))`` such phases.  A narrower compiled
+    SIMD width therefore means *more* barrier phases for the same block
+    — the Ponte Vecchio SIMD16-vs-SIMD32 effect (arXiv:2308.08417).
+    """
+    if num_lanes < 1 or width < 2:
+        raise ValueError("need num_lanes >= 1 and width >= 2")
+    phases = 0
+    remaining = num_lanes
+    while remaining > 1:
+        remaining = -(-remaining // width)
+        phases += 1
+    return max(phases, 1)
+
+
+def reduction_round_scale(hw, num_lanes: int) -> float:
+    """Cost multiplier on one reduction round for ``hw``'s compiled width.
+
+    ``sync_latency_us`` is calibrated for kernels that reduce at the
+    native warp width; a target whose kernels compile to a *narrower*
+    ``subgroup_width`` (PVC's SIMD16) pays proportionally more
+    barrier-separated phases per round.  Identical widths give exactly
+    ``1.0``, so CUDA/HIP targets' bills are untouched.
+    """
+    if hw.subgroup_width == hw.warp_size:
+        return 1.0
+    return (
+        reduction_phase_count(num_lanes, hw.subgroup_width)
+        / reduction_phase_count(num_lanes, hw.warp_size)
+    )
 
 
 def kernel_launches(

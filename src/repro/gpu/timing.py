@@ -36,6 +36,7 @@ from .kernel import (
     dense_lu_work,
     iteration_work,
     kernel_launches,
+    reduction_round_scale,
     reduction_rounds,
     setup_work,
     spmv_work,
@@ -257,8 +258,13 @@ def estimate_iterative_solve(
         kernel_launches(schedule, iters_max, fused=fused)
         * hw.launch_overhead_us * 1e-6
     )
+    # One block per system, one lane per row (capped at the 1024-lane
+    # block limit): targets whose kernels compile narrower than the warp
+    # (PVC SIMD16) pay extra barrier phases per reduction round.
+    sync_scale = reduction_round_scale(hw, min(num_rows, 1024))
     sync_s = (
-        reduction_rounds(schedule, iters_max) * hw.sync_latency_us * 1e-6
+        reduction_rounds(schedule, iters_max)
+        * sync_scale * hw.sync_latency_us * 1e-6
     )
     makespan = schedule_blocks(hw, occ, block_times)
     total = launch + sync_s + makespan

@@ -44,7 +44,13 @@ __all__ = ["CoalescePolicy", "Coalescer", "CoalescedBatch", "CompatKey",
 
 @dataclass(frozen=True)
 class CompatKey:
-    """What must match for two requests to share one hardware batch."""
+    """What must match for two requests to share one hardware batch.
+
+    ``scenario`` is the workload identity (``"xgc"``, ``"dougherty"``,
+    ``"lenard_bernstein"``, ``"landau"``): requests from different
+    operators never coalesce even when their patterns coincide, because
+    the scenario drives the tuner's validity masks and searched-policy
+    lookup — one batch must mean one tuning decision."""
 
     num_rows: int
     fmt: str
@@ -53,6 +59,7 @@ class CompatKey:
     tolerance: float
     pattern_fp: str
     degraded: bool
+    scenario: str = "xgc"
 
 
 #: Pattern-fingerprint cache: ``id(pattern array) -> (array ref, digest)``.
@@ -116,6 +123,7 @@ def compat_key(request: SolveRequest) -> CompatKey:
         tolerance=float(request.tolerance),
         pattern_fp=pattern_fingerprint(matrix),
         degraded=bool(request.degraded),
+        scenario=request.scenario,
     )
 
 
@@ -269,6 +277,7 @@ class Coalescer:
             decision = tune_for_matrix(
                 self.gpu, matrix, solver=key.solver,
                 num_batch=self.policy.max_batch,
+                scenario=key.scenario,
             )
             hit = decision.solver_variant or key.solver
             self._variants[key] = hit

@@ -28,7 +28,15 @@ from .agents import (
     SearchResult,
     TrajectoryLogger,
 )
-from .env import CostModelEnv, TuneScenario, exhaustive_best, xgc_scenario
+from .env import (
+    CostModelEnv,
+    TuneScenario,
+    exhaustive_best,
+    named_scenario,
+    scenario_names,
+    tridiag_operator_scenario,
+    xgc_scenario,
+)
 from .policy import PolicyEntry, TuningPolicy, baseline_config, distill_policy
 from .space import ConfigSpace, TuneConfig, space_for_scenario
 
@@ -47,6 +55,9 @@ __all__ = [
     "baseline_config",
     "distill_policy",
     "exhaustive_best",
+    "named_scenario",
+    "scenario_names",
     "space_for_scenario",
+    "tridiag_operator_scenario",
     "xgc_scenario",
 ]

@@ -30,9 +30,13 @@ from .space import ConfigSpace, TuneConfig, space_for_scenario
 
 __all__ = [
     "CostModelEnv",
+    "OPERATOR_ITERATIONS",
     "TuneScenario",
     "XGC_ITERATIONS",
     "exhaustive_best",
+    "named_scenario",
+    "scenario_names",
+    "tridiag_operator_scenario",
     "xgc_scenario",
 ]
 
@@ -192,6 +196,101 @@ def xgc_scenario(*, measured: bool = False) -> TuneScenario:
         num_diags=9,
         dia_padding_fraction=0.042,
     )
+
+
+#: Pinned batch-mean iteration counts of the operator-zoo scenarios
+#: (Jacobi, |r| <= 1e-10, default scenario builds) — measured by
+#: :func:`repro.xgc.scenarios.run_operator_scenario`; re-measure live
+#: with ``tridiag_operator_scenario(name, measured=True)``.
+OPERATOR_ITERATIONS = {
+    "lenard_bernstein": (
+        ("bicgstab", 11.0),
+        ("pipelined_bicgstab", 11.0),
+        ("cgs", 61.125),
+        ("gmres", 14.0),
+    ),
+    "dougherty": (
+        ("bicgstab", 19.375),
+        ("pipelined_bicgstab", 19.375),
+        ("cgs", 20.625),
+        ("gmres", 29.25),
+    ),
+    "landau": (
+        ("bicgstab", 16.9),
+        ("pipelined_bicgstab", 16.9),
+        ("cgs", 16.25),
+        ("gmres", 23.25),
+    ),
+}
+
+
+def tridiag_operator_scenario(
+    name: str, *, measured: bool = False
+) -> TuneScenario:
+    """A tuning scenario for one operator-zoo workload (PR 10).
+
+    The batched Dougherty / Lenard-Bernstein / multi-species Landau
+    systems are tridiagonal: 64 rows, 190 true non-zeros, 3 constant
+    diagonals.  Their validity masks differ from the XGC stencil's — ELL
+    buys nothing over DIA on a fixed 3-diagonal pattern, so the format
+    mask is ``("csr", "dia")``, and the fixed-coefficient
+    Lenard-Bernstein relaxation tolerates pure fp32 while the
+    self-consistent operators do not.  With ``measured=True`` the
+    iteration counts are re-measured by real host solves of the
+    scenario's default build.
+    """
+    if name not in OPERATOR_ITERATIONS:
+        raise ValueError(
+            f"unknown operator scenario {name!r}; "
+            f"choices: {sorted(OPERATOR_ITERATIONS)}"
+        )
+    iterations = OPERATOR_ITERATIONS[name]
+    if measured:
+        from ..core.solvers import make_solver
+        from ..core.stop import AbsoluteResidual
+        from ..xgc.scenarios import OPERATOR_SCENARIOS
+
+        op, f0 = OPERATOR_SCENARIOS[name].build()
+        matrix = op.matrix("csr")
+        measured_its = []
+        for solver, _ in iterations:
+            res = make_solver(
+                solver, preconditioner="jacobi",
+                criterion=AbsoluteResidual(1e-10), max_iter=500,
+            ).solve(matrix, f0)
+            measured_its.append(
+                (solver, float(np.asarray(res.iterations).mean())))
+        iterations = tuple(measured_its)
+    nv = 64
+    return TuneScenario(
+        name=name,
+        num_rows=nv,
+        nnz=3 * nv - 2,
+        iterations=iterations,
+        stored_nnz=(("dia", 3 * nv),),
+        formats=("csr", "dia"),
+        allow_fp32=(name == "lenard_bernstein"),
+        nnz_row_min=2,
+        nnz_row_max=3,
+        num_diags=3,
+        dia_padding_fraction=2.0 / (3 * nv),
+    )
+
+
+def scenario_names() -> tuple:
+    """Every named scenario :func:`named_scenario` resolves."""
+    return ("xgc",) + tuple(sorted(OPERATOR_ITERATIONS))
+
+
+def named_scenario(name: str) -> TuneScenario:
+    """Resolve a scenario identity string to its :class:`TuneScenario`.
+
+    This is the lookup the service coalescer and ``tune_for_matrix`` use
+    when a request carries only a scenario *name*.
+    """
+    if name == "xgc":
+        return xgc_scenario()
+    return tridiag_operator_scenario(name)
 
 
 @dataclass

@@ -291,8 +291,15 @@ def space_for_scenario(scenario) -> ConfigSpace:
     solvers whose convergence it has iteration counts for), its format
     list (DIA only for diagonal-structured patterns), and its precision
     gates (``allow_fp32`` — pure single reaching the tolerance;
-    ``allow_mixed`` — fp32 streaming with fp64 correction).
+    ``allow_mixed`` — fp32 streaming with fp64 correction).  A scenario
+    *name* (``"xgc"``, ``"dougherty"``, ``"lenard_bernstein"``,
+    ``"landau"``) resolves through
+    :func:`~repro.tune.env.named_scenario` first.
     """
+    if isinstance(scenario, str):
+        from .env import named_scenario
+
+        scenario = named_scenario(scenario)
     precisions = ["fp64"]
     if scenario.allow_fp32:
         precisions.append("fp32")

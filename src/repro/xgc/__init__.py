@@ -18,13 +18,35 @@ from .conservation import (
     ConservationReport,
     apply_conservation_fix,
     check_conservation,
+    check_multispecies_conservation,
 )
 from .coupling import ExchangeResult, apply_interspecies_exchange
 from .grid import VelocityGrid
 from .maxwellian import Moments, maxwellian, moments, relative_entropy
+from .operators import (
+    CollisionOperator1D,
+    ParallelVelocityGrid,
+    dougherty_operator,
+    grid_maxwellian,
+    grid_moments,
+    landau_coupled_operator,
+    lenard_bernstein_operator,
+)
 from .picard import PicardOptions, PicardStepper, PicardStepResult
 from .proxyapp import CollisionProxyApp, ProxyAppConfig, ProxyAppResult
-from .scenarios import CARBON, TRITON, electron_only, multi_ion, single_ion
+from .scenarios import (
+    CARBON,
+    LANDAU_MIX,
+    OPERATOR_SCENARIOS,
+    TRITON,
+    OperatorScenario,
+    OperatorStepOutcome,
+    electron_only,
+    multi_ion,
+    operator_scenarios,
+    run_operator_scenario,
+    single_ion,
+)
 from .species import DEUTERON, ELECTRON, SPECIES_BY_NAME, Species
 from .timeline import Segment, TimelineReport, simulate_picard_timeline
 
@@ -45,6 +67,7 @@ __all__ = [
     "CollisionStencil",
     "ConservationReport",
     "check_conservation",
+    "check_multispecies_conservation",
     "apply_conservation_fix",
     "ExchangeResult",
     "apply_interspecies_exchange",
@@ -59,6 +82,19 @@ __all__ = [
     "single_ion",
     "multi_ion",
     "electron_only",
+    "ParallelVelocityGrid",
+    "CollisionOperator1D",
+    "grid_maxwellian",
+    "grid_moments",
+    "lenard_bernstein_operator",
+    "dougherty_operator",
+    "landau_coupled_operator",
+    "LANDAU_MIX",
+    "OPERATOR_SCENARIOS",
+    "OperatorScenario",
+    "OperatorStepOutcome",
+    "operator_scenarios",
+    "run_operator_scenario",
     "Segment",
     "TimelineReport",
     "simulate_picard_timeline",

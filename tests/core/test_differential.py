@@ -9,7 +9,11 @@ Two families of pins:
 * **blast-radius isolation** — corrupting one system of a batch leaves
   every *other* system's solution bit-identical to the uncorrupted run.
   The whole robustness layer is built on this: health detection, lane
-  deactivation and escalation gathers must never perturb healthy lanes.
+  deactivation and escalation gathers must never perturb healthy lanes;
+* **operator batches** — the same two families on the tridiagonal
+  operator-zoo systems (:mod:`repro.xgc.operators`): every registered
+  solver against scipy on a Dougherty batch, CG on the symmetrised SPD
+  form, and fault injection with health attribution on an operator batch.
 """
 
 import numpy as np
@@ -214,3 +218,81 @@ class TestBlastRadiusIsolation:
         np.testing.assert_array_equal(res_esc.x[healthy], res_plain.x[healthy])
         assert res_esc.converged.all()  # the broken system was rescued
         assert esc.last_report.rescued_by[1] > 0
+
+
+# -- operator-zoo batches ---------------------------------------------------
+
+def operator_batch(seed=3, nb=6, dt=0.05):
+    """A Dougherty operator batch (tridiagonal, diagonally dominant
+    M-matrices) with its pre-step distributions as right-hand sides."""
+    from repro.xgc.operators import (
+        ParallelVelocityGrid,
+        dougherty_operator,
+        grid_maxwellian,
+    )
+
+    grid = ParallelVelocityGrid(nv=32, v_max=6.0)
+    rng = np.random.default_rng(seed)
+    density = 1.0 + 0.3 * rng.random(nb)
+    u0 = 0.3 * rng.standard_normal(nb)
+    t0 = 1.0 + 0.3 * rng.random(nb)
+    f0 = grid_maxwellian(grid, density, u0, t0)
+    f0 = f0 * (1.0 + 0.05 * rng.random((nb, grid.nv)))
+    return dougherty_operator(grid, f0, nu=1.0, dt=dt), f0
+
+
+class TestOperatorBatches:
+    """The differential pins on the tridiagonal operator-zoo systems."""
+
+    @pytest.mark.parametrize("name", GENERAL_SOLVERS)
+    def test_operator_batch_matches_scipy(self, name):
+        op, f0 = operator_batch()
+        ref = reference_solutions(op.dense(), f0)
+        res = build(name).solve(op.matrix("csr"), f0)
+        assert res.converged.all()
+        np.testing.assert_allclose(res.x, ref, rtol=1e-6, atol=1e-8)
+
+    @pytest.mark.parametrize("name", ["cg", "pipelined_cg"])
+    def test_cg_on_symmetrized_operator(self, name):
+        """CG's theory needs SPD: the similarity-transformed operator
+        qualifies, and the back-transformed solution matches scipy."""
+        from repro.core.convert import tridiag_to_dia
+
+        op, f0 = operator_batch()
+        ref = reference_solutions(op.dense(), f0)
+        sym, scale = op.symmetrized()
+        res = build(name).solve(to_format(tridiag_to_dia(sym), "csr"), f0 / scale)
+        assert res.converged.all()
+        np.testing.assert_allclose(scale * res.x, ref, rtol=1e-6, atol=1e-8)
+
+    @pytest.mark.filterwarnings("ignore::RuntimeWarning")
+    @pytest.mark.parametrize(
+        "spec",
+        [
+            FaultSpec("nan", system=2, rows=(3,)),
+            FaultSpec("breakdown", system=2),
+        ],
+        ids=lambda s: s.kind,
+    )
+    def test_operator_blast_radius_and_health(self, spec):
+        """Corrupting one operator system flags that lane's health and
+        leaves every other lane bit-identical — the robustness layer is
+        reachable from the operator-zoo path, not just random batches."""
+        op, f0 = operator_batch()
+        m = to_format(op.matrix("dia"), "csr")
+        clean = make_solver("bicgstab", preconditioner="identity",
+                            criterion=AbsoluteResidual(TOL), max_iter=4000)
+        res_clean = clean.solve(m, f0)
+        assert res_clean.converged.all()
+
+        inj = FaultInjector([spec])
+        dirty = make_solver("bicgstab", preconditioner="identity",
+                            criterion=AbsoluteResidual(TOL), max_iter=4000)
+        res_dirty = dirty.solve(inj.corrupt_matrix(m), inj.corrupt_rhs(f0))
+
+        healthy = np.ones(op.num_batch, dtype=bool)
+        healthy[spec.system] = False
+        np.testing.assert_array_equal(res_dirty.x[healthy], res_clean.x[healthy])
+        assert res_dirty.health is not None
+        assert (res_dirty.health[healthy] == SolverHealth.CONVERGED).all()
+        assert res_dirty.health[spec.system] != SolverHealth.CONVERGED

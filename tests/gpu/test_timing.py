@@ -8,6 +8,7 @@ from repro.gpu import (
     GPUS,
     MI100,
     SKYLAKE_NODE,
+    TABLE1_GPUS,
     V100,
     estimate_cpu_dgbsv,
     estimate_direct_qr,
@@ -36,12 +37,14 @@ class TestIterativeSolveModel:
             assert t_ell < t_csr, hw.name
 
     def test_a100_fastest_gpu(self):
+        # Fastest of the paper's Table I trio; the hardware-zoo H100
+        # overtakes it, which TestHardwareZoo pins separately.
         its = mixed_iterations(960)
         times = {
             hw.name: estimate_iterative_solve(
                 hw, "ell", N, NNZ, its, stored_nnz=STORED_ELL
             ).total_time_s
-            for hw in GPUS
+            for hw in TABLE1_GPUS
         }
         assert times["A100"] == min(times.values())
 

@@ -12,6 +12,7 @@ from repro.core import (
 from repro.gpu import (
     A100,
     GPUS,
+    TABLE1_GPUS,
     SKYLAKE_NODE,
     estimate_cpu_dgbsv,
     estimate_iterative_solve,
@@ -70,7 +71,9 @@ class TestSolverAgreementOnXgcMatrices:
             )
             assert est.total_time_s > 0
             times[hw.name] = est.total_time_s
-        assert times["A100"] == min(times.values())
+        # A100 leads the paper's Table I trio; the zoo's H100 leads overall.
+        assert times["A100"] == min(times[hw.name] for hw in TABLE1_GPUS)
+        assert times["H100"] == min(times.values())
 
 
 class TestPicardWithAllSolverPieces:
